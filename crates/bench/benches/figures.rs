@@ -1,0 +1,81 @@
+//! Criterion benches: time one representative simulation per experiment so
+//! simulator-throughput regressions show up. (The *papers'* numbers come
+//! from the fig3/fig4/fig5/fig6/table1 binaries; these benches measure the
+//! wall-clock cost of producing them.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use multipath_bench::{run_cell, run_single, Budget, Cell};
+use multipath_core::{AltPolicy, Features, SimConfig};
+use multipath_workload::{mix, Benchmark};
+use std::hint::black_box;
+
+fn bench_budget() -> Budget {
+    let mut b = Budget::quick();
+    b.committed_per_program = 3_000;
+    b
+}
+
+/// Figure 3 cell: one benchmark under the full architecture.
+fn fig3_cell(c: &mut Criterion) {
+    let budget = bench_budget();
+    c.bench_function("fig3/compress/rec_rs_ru", |b| {
+        b.iter(|| {
+            black_box(run_single(Benchmark::Compress, Features::rec_rs_ru(), &budget))
+        })
+    });
+    c.bench_function("fig3/compress/smt", |b| {
+        b.iter(|| black_box(run_single(Benchmark::Compress, Features::smt(), &budget)))
+    });
+}
+
+/// Figure 4 cell: a 4-program mix under the full architecture.
+fn fig4_cell(c: &mut Criterion) {
+    let budget = bench_budget();
+    let cell = Cell {
+        config: SimConfig::big_2_16().with_features(Features::rec_rs_ru()),
+        workload: mix::rotations(4)[0].clone(),
+        seed: 1,
+    };
+    c.bench_function("fig4/4progs/rec_rs_ru", |b| {
+        b.iter(|| black_box(run_cell(&cell, &budget)))
+    });
+}
+
+/// Figure 5 cell: the nostop-32 policy (most speculative sweep point).
+fn fig5_cell(c: &mut Criterion) {
+    let budget = bench_budget();
+    let cell = Cell {
+        config: SimConfig::big_2_16()
+            .with_features(Features::rec_rs_ru())
+            .with_alt_policy(AltPolicy::NoStop(32)),
+        workload: vec![Benchmark::Go],
+        seed: 1,
+    };
+    c.bench_function("fig5/go/nostop32", |b| b.iter(|| black_box(run_cell(&cell, &budget))));
+}
+
+/// Figure 6 cell: the small.1.8 machine.
+fn fig6_cell(c: &mut Criterion) {
+    let budget = bench_budget();
+    let cell = Cell {
+        config: SimConfig::small_1_8().with_features(Features::rec_rs_ru()),
+        workload: vec![Benchmark::Vortex],
+        seed: 1,
+    };
+    c.bench_function("fig6/vortex/small18", |b| b.iter(|| black_box(run_cell(&cell, &budget))));
+}
+
+/// Table 1 cell: statistics collection on the recycling-heavy kernel.
+fn table1_cell(c: &mut Criterion) {
+    let budget = bench_budget();
+    c.bench_function("table1/tomcatv/rec_rs_ru", |b| {
+        b.iter(|| black_box(run_single(Benchmark::Tomcatv, Features::rec_rs_ru(), &budget)))
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = fig3_cell, fig4_cell, fig5_cell, fig6_cell, table1_cell
+}
+criterion_main!(figures);

@@ -1,0 +1,12 @@
+//! Regenerates Figure 3 of the paper. Budget via MP_BENCH_COMMITS /
+//! MP_BENCH_MIXES (defaults: 20k committed per program, all 8 mixes).
+
+fn main() {
+    let budget = multipath_bench::Budget::from_env();
+    let rows = multipath_bench::figure3(&budget);
+    if multipath_bench::csv_requested() {
+        print!("{}", multipath_bench::render_figure3_csv(&rows));
+    } else {
+        print!("{}", multipath_bench::render_figure3(&rows));
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates Table 1 of the paper (recycling statistics). Budget via
+//! MP_BENCH_COMMITS / MP_BENCH_MIXES.
+
+fn main() {
+    let budget = multipath_bench::Budget::from_env();
+    let rows = multipath_bench::table1(&budget);
+    if multipath_bench::csv_requested() {
+        print!("{}", multipath_bench::render_table1_csv(&rows));
+    } else {
+        print!("{}", multipath_bench::render_table1(&rows));
+    }
+}

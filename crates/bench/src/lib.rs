@@ -1,0 +1,568 @@
+//! Experiment harness for the HPCA'99 instruction-recycling reproduction.
+//!
+//! Every table and figure of the paper's evaluation has a runner here and a
+//! binary that prints it (`cargo run --release -p multipath-bench --bin
+//! fig3`, `fig4`, `fig5`, `fig6`, `table1`). The Criterion bench target
+//! (`cargo bench -p multipath-bench`) times representative simulations of
+//! each experiment so regressions in simulator throughput are visible.
+//!
+//! Absolute IPC is not expected to match the paper (its workloads were
+//! SPEC95 Alpha binaries on the authors' simulator; ours are synthetic
+//! proxies — see `DESIGN.md`). The *shape* is the reproduction target:
+//! which configuration wins, how gains move with program count, and where
+//! the recycling statistics land.
+
+use multipath_core::{AltPolicy, Features, SimConfig, Simulator, Stats};
+use multipath_workload::{mix, Benchmark};
+
+/// How big each simulation is.
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    /// Committed instructions per co-scheduled program.
+    pub committed_per_program: u64,
+    /// Hard cycle cap (guards against pathological configurations).
+    pub max_cycles: u64,
+    /// Workload seed.
+    pub seed: u64,
+    /// How many of the eight benchmark permutations to average for
+    /// multi-program points (the paper uses all eight).
+    pub mixes: usize,
+}
+
+impl Budget {
+    /// The default experiment size: 20k committed instructions per program
+    /// over all eight permutations.
+    pub fn full() -> Budget {
+        Budget { committed_per_program: 20_000, max_cycles: 2_000_000, seed: 1, mixes: 8 }
+    }
+
+    /// A fast smoke-sized budget for tests and Criterion timing.
+    pub fn quick() -> Budget {
+        Budget { committed_per_program: 4_000, max_cycles: 400_000, seed: 1, mixes: 2 }
+    }
+
+    /// Reads `MP_BENCH_COMMITS` / `MP_BENCH_MIXES` overrides from the
+    /// environment, falling back to [`Budget::full`].
+    pub fn from_env() -> Budget {
+        let mut b = Budget::full();
+        if let Some(n) = std::env::var("MP_BENCH_COMMITS").ok().and_then(|s| s.parse().ok()) {
+            b.committed_per_program = n;
+        }
+        if let Some(n) = std::env::var("MP_BENCH_MIXES").ok().and_then(|s| s.parse::<usize>().ok()) {
+            b.mixes = n.clamp(1, 8);
+        }
+        b
+    }
+}
+
+/// One experiment cell: machine + features + policy + workload.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Machine model.
+    pub config: SimConfig,
+    /// The benchmarks co-scheduled in this run.
+    pub workload: Vec<Benchmark>,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+/// Runs one cell to the budget and returns the statistics.
+pub fn run_cell(cell: &Cell, budget: &Budget) -> Stats {
+    let programs = mix::programs(&cell.workload, cell.seed);
+    let mut sim = Simulator::new(cell.config.clone(), programs);
+    let total = budget.committed_per_program * cell.workload.len() as u64;
+    sim.run(total, budget.max_cycles);
+    sim.stats().clone()
+}
+
+/// Convenience: run `bench` alone under `features` on the baseline machine.
+pub fn run_single(bench: Benchmark, features: Features, budget: &Budget) -> Stats {
+    run_cell(
+        &Cell {
+            config: SimConfig::big_2_16().with_features(features),
+            workload: vec![bench],
+            seed: budget.seed,
+        },
+        budget,
+    )
+}
+
+/// Average IPC over the paper's evenly-weighted permutations of `n`
+/// programs (limited to `budget.mixes` rotations).
+pub fn average_ipc(config: &SimConfig, n_programs: usize, budget: &Budget) -> f64 {
+    let mixes = mix::rotations(n_programs);
+    let take = budget.mixes.min(mixes.len());
+    let mut sum = 0.0;
+    for m in mixes.into_iter().take(take) {
+        let stats = run_cell(
+            &Cell { config: config.clone(), workload: m, seed: budget.seed },
+            budget,
+        );
+        sum += stats.ipc();
+    }
+    sum / take as f64
+}
+
+// ---------------------------------------------------------------------
+// Figure 3: per-program IPC under the six configurations.
+// ---------------------------------------------------------------------
+
+/// One Figure 3 row: a benchmark and its IPC under each configuration.
+#[derive(Debug, Clone)]
+pub struct Fig3Row {
+    /// The benchmark.
+    pub bench: Benchmark,
+    /// IPC per configuration, in [`Features::all_six`] order.
+    pub ipc: [f64; 6],
+}
+
+/// Runs Figure 3 (single-program IPC for SMT/TME/REC/REC-RU/REC-RS/
+/// REC-RS-RU on the baseline machine).
+pub fn figure3(budget: &Budget) -> Vec<Fig3Row> {
+    Benchmark::ALL
+        .into_iter()
+        .map(|bench| {
+            let mut ipc = [0.0; 6];
+            for (i, features) in Features::all_six().into_iter().enumerate() {
+                ipc[i] = run_single(bench, features, budget).ipc();
+            }
+            Fig3Row { bench, ipc }
+        })
+        .collect()
+}
+
+/// Renders Figure 3 as an aligned text table.
+pub fn render_figure3(rows: &[Fig3Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:10}", "bench"));
+    for f in Features::all_six() {
+        out.push_str(&format!(" {:>9}", f.label()));
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format!("{:10}", row.bench.name()));
+        for v in row.ipc {
+            out.push_str(&format!(" {v:>9.2}"));
+        }
+        out.push('\n');
+    }
+    let mut avg = [0.0; 6];
+    for row in rows {
+        for (a, v) in avg.iter_mut().zip(row.ipc) {
+            *a += v / rows.len() as f64;
+        }
+    }
+    out.push_str(&format!("{:10}", "average"));
+    for v in avg {
+        out.push_str(&format!(" {v:>9.2}"));
+    }
+    out.push('\n');
+    out
+}
+
+// ---------------------------------------------------------------------
+// Figure 4: average IPC for 1/2/4 programs under the six configurations.
+// ---------------------------------------------------------------------
+
+/// One Figure 4 row: program count and average IPC per configuration.
+#[derive(Debug, Clone)]
+pub struct Fig4Row {
+    /// Number of co-scheduled programs.
+    pub programs: usize,
+    /// Average IPC per configuration, in [`Features::all_six`] order.
+    pub ipc: [f64; 6],
+}
+
+/// Runs Figure 4.
+pub fn figure4(budget: &Budget) -> Vec<Fig4Row> {
+    [1usize, 2, 4]
+        .into_iter()
+        .map(|n| {
+            let mut ipc = [0.0; 6];
+            for (i, features) in Features::all_six().into_iter().enumerate() {
+                let config = SimConfig::big_2_16().with_features(features);
+                ipc[i] = average_ipc(&config, n, budget);
+            }
+            Fig4Row { programs: n, ipc }
+        })
+        .collect()
+}
+
+/// Renders Figure 4 as an aligned text table.
+pub fn render_figure4(rows: &[Fig4Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:10}", "programs"));
+    for f in Features::all_six() {
+        out.push_str(&format!(" {:>9}", f.label()));
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format!("{:10}", row.programs));
+        for v in row.ipc {
+            out.push_str(&format!(" {v:>9.2}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Figure 5: alternate-path fetch-limit policies.
+// ---------------------------------------------------------------------
+
+/// One Figure 5 row: a policy and its average IPC for 1/2/4 programs.
+#[derive(Debug, Clone)]
+pub struct Fig5Row {
+    /// The alternate-path policy.
+    pub policy: AltPolicy,
+    /// Average IPC at 1, 2, and 4 programs.
+    pub ipc: [f64; 3],
+}
+
+/// Runs Figure 5 (nine policies under the full REC/RS/RU architecture).
+pub fn figure5(budget: &Budget) -> Vec<Fig5Row> {
+    AltPolicy::figure5_sweep()
+        .into_iter()
+        .map(|policy| {
+            let config = SimConfig::big_2_16()
+                .with_features(Features::rec_rs_ru())
+                .with_alt_policy(policy);
+            let mut ipc = [0.0; 3];
+            for (i, n) in [1usize, 2, 4].into_iter().enumerate() {
+                ipc[i] = average_ipc(&config, n, budget);
+            }
+            Fig5Row { policy, ipc }
+        })
+        .collect()
+}
+
+/// Renders Figure 5 as an aligned text table.
+pub fn render_figure5(rows: &[Fig5Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:12} {:>10} {:>10} {:>10}\n", "policy", "1 prog", "2 progs", "4 progs"));
+    for row in rows {
+        out.push_str(&format!(
+            "{:12} {:>10.2} {:>10.2} {:>10.2}\n",
+            row.policy.label(),
+            row.ipc[0],
+            row.ipc[1],
+            row.ipc[2]
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Figure 6: limited-resource machine models.
+// ---------------------------------------------------------------------
+
+/// The four machine models of Section 5.3.
+pub fn figure6_machines() -> [(&'static str, SimConfig); 4] {
+    [
+        ("small.1.8", SimConfig::small_1_8()),
+        ("small.2.8", SimConfig::small_2_8()),
+        ("big.1.8", SimConfig::big_1_8()),
+        ("big.2.16", SimConfig::big_2_16()),
+    ]
+}
+
+/// One Figure 6 row: machine × configuration × program count.
+#[derive(Debug, Clone)]
+pub struct Fig6Row {
+    /// Machine model name.
+    pub machine: &'static str,
+    /// Configuration label (`SMT`, `TME`, `REC/RS/RU`).
+    pub features: Features,
+    /// Average IPC at 1, 2, and 4 programs.
+    pub ipc: [f64; 3],
+}
+
+/// Runs Figure 6 (SMT vs TME vs REC/RS/RU on each machine model).
+pub fn figure6(budget: &Budget) -> Vec<Fig6Row> {
+    let mut rows = Vec::new();
+    for (machine, base) in figure6_machines() {
+        for features in [Features::smt(), Features::tme(), Features::rec_rs_ru()] {
+            let config = base.clone().with_features(features);
+            let mut ipc = [0.0; 3];
+            for (i, n) in [1usize, 2, 4].into_iter().enumerate() {
+                ipc[i] = average_ipc(&config, n, budget);
+            }
+            rows.push(Fig6Row { machine, features, ipc });
+        }
+    }
+    rows
+}
+
+/// Renders Figure 6 as an aligned text table.
+pub fn render_figure6(rows: &[Fig6Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:10} {:10} {:>10} {:>10} {:>10}\n",
+        "machine", "config", "1 prog", "2 progs", "4 progs"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:10} {:10} {:>10.2} {:>10.2} {:>10.2}\n",
+            row.machine,
+            row.features.label(),
+            row.ipc[0],
+            row.ipc[1],
+            row.ipc[2]
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Table 1: recycling statistics.
+// ---------------------------------------------------------------------
+
+/// One Table 1 row (per benchmark or a multi-program average).
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Row label (benchmark name or `"N progs avg"`).
+    pub label: String,
+    /// % of renamed instructions recycled.
+    pub pct_recycled: f64,
+    /// % of renamed instructions reused.
+    pub pct_reused: f64,
+    /// % of mispredicted branches covered by a fork.
+    pub pct_miss_cov: f64,
+    /// % of forks used by TME.
+    pub pct_forks_tme: f64,
+    /// % of forks recycled at least once.
+    pub pct_forks_recycled: f64,
+    /// % of forks re-spawned at least once.
+    pub pct_forks_respawned: f64,
+    /// Average merges per recycled alternate path.
+    pub merges_per_alt: f64,
+    /// % of merges that were backward-branch merges.
+    pub pct_back_merges: f64,
+}
+
+impl Table1Row {
+    fn from_stats(label: String, s: &Stats) -> Table1Row {
+        Table1Row {
+            label,
+            pct_recycled: s.pct_recycled(),
+            pct_reused: s.pct_reused(),
+            pct_miss_cov: s.pct_miss_covered(),
+            pct_forks_tme: s.pct_forks_tme(),
+            pct_forks_recycled: s.pct_forks_recycled(),
+            pct_forks_respawned: s.pct_forks_respawned(),
+            merges_per_alt: s.merges_per_alt_path(),
+            pct_back_merges: s.pct_back_merges(),
+        }
+    }
+}
+
+/// Runs Table 1: per-benchmark recycling statistics under REC/RS/RU, plus
+/// 2- and 4-program averages.
+pub fn table1(budget: &Budget) -> Vec<Table1Row> {
+    let mut rows = Vec::new();
+    let mut single_acc: Vec<Stats> = Vec::new();
+    for bench in Benchmark::ALL {
+        let stats = run_single(bench, Features::rec_rs_ru(), budget);
+        rows.push(Table1Row::from_stats(bench.name().to_owned(), &stats));
+        single_acc.push(stats);
+    }
+    rows.push(Table1Row::from_stats("1 prog avg".to_owned(), &combine(&single_acc)));
+    for n in [2usize, 4] {
+        let mixes = mix::rotations(n);
+        let take = budget.mixes.min(mixes.len());
+        let stats: Vec<Stats> = mixes
+            .into_iter()
+            .take(take)
+            .map(|m| {
+                run_cell(
+                    &Cell {
+                        config: SimConfig::big_2_16().with_features(Features::rec_rs_ru()),
+                        workload: m,
+                        seed: budget.seed,
+                    },
+                    budget,
+                )
+            })
+            .collect();
+        rows.push(Table1Row::from_stats(format!("{n} progs avg"), &combine(&stats)));
+    }
+    rows
+}
+
+/// Sums raw counters across runs so the averages are instruction-weighted,
+/// as the paper's are.
+fn combine(all: &[Stats]) -> Stats {
+    let mut acc = Stats::new(1);
+    for s in all {
+        acc.cycles += s.cycles;
+        acc.committed += s.committed;
+        acc.renamed += s.renamed;
+        acc.recycled += s.recycled;
+        acc.reused += s.reused;
+        acc.fetched += s.fetched;
+        acc.squashed += s.squashed;
+        acc.branches += s.branches;
+        acc.mispredicts += s.mispredicts;
+        acc.mispredicts_covered += s.mispredicts_covered;
+        acc.forks += s.forks;
+        acc.forks_used_tme += s.forks_used_tme;
+        acc.forks_recycled += s.forks_recycled;
+        acc.forks_respawned += s.forks_respawned;
+        acc.respawns += s.respawns;
+        acc.merges += s.merges;
+        acc.back_merges += s.back_merges;
+        acc.alt_path_merge_sum += s.alt_path_merge_sum;
+        acc.recoveries += s.recoveries;
+    }
+    acc
+}
+
+/// Renders Table 1 as an aligned text table.
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:12} {:>8} {:>7} {:>9} {:>6} {:>6} {:>8} {:>10} {:>7}\n",
+        "program", "recyc%", "reuse%", "misscov%", "tme%", "recyc%", "respawn%", "merges/alt", "back%"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:12} {:>8.1} {:>7.1} {:>9.1} {:>6.1} {:>6.1} {:>8.1} {:>10.1} {:>7.1}\n",
+            r.label,
+            r.pct_recycled,
+            r.pct_reused,
+            r.pct_miss_cov,
+            r.pct_forks_tme,
+            r.pct_forks_recycled,
+            r.pct_forks_respawned,
+            r.merges_per_alt,
+            r.pct_back_merges
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// CSV rendering (for plotting): set MP_FORMAT=csv on any figure binary.
+// ---------------------------------------------------------------------
+
+/// Whether the binaries should emit CSV instead of aligned text.
+pub fn csv_requested() -> bool {
+    std::env::var("MP_FORMAT").is_ok_and(|v| v == "csv")
+}
+
+/// Figure 3 as CSV (`bench,smt,tme,rec,rec_ru,rec_rs,rec_rs_ru`).
+pub fn render_figure3_csv(rows: &[Fig3Row]) -> String {
+    let mut out = String::from("bench,smt,tme,rec,rec_ru,rec_rs,rec_rs_ru\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}\n",
+            r.bench.name(),
+            r.ipc[0],
+            r.ipc[1],
+            r.ipc[2],
+            r.ipc[3],
+            r.ipc[4],
+            r.ipc[5]
+        ));
+    }
+    out
+}
+
+/// Figure 4 as CSV (`programs,smt,...`).
+pub fn render_figure4_csv(rows: &[Fig4Row]) -> String {
+    let mut out = String::from("programs,smt,tme,rec,rec_ru,rec_rs,rec_rs_ru\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}\n",
+            r.programs, r.ipc[0], r.ipc[1], r.ipc[2], r.ipc[3], r.ipc[4], r.ipc[5]
+        ));
+    }
+    out
+}
+
+/// Figure 5 as CSV (`policy,p1,p2,p4`).
+pub fn render_figure5_csv(rows: &[Fig5Row]) -> String {
+    let mut out = String::from("policy,p1,p2,p4\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{:.4},{:.4},{:.4}\n",
+            r.policy.label(),
+            r.ipc[0],
+            r.ipc[1],
+            r.ipc[2]
+        ));
+    }
+    out
+}
+
+/// Figure 6 as CSV (`machine,config,p1,p2,p4`).
+pub fn render_figure6_csv(rows: &[Fig6Row]) -> String {
+    let mut out = String::from("machine,config,p1,p2,p4\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{:.4},{:.4},{:.4}\n",
+            r.machine,
+            r.features.label(),
+            r.ipc[0],
+            r.ipc[1],
+            r.ipc[2]
+        ));
+    }
+    out
+}
+
+/// Table 1 as CSV.
+pub fn render_table1_csv(rows: &[Table1Row]) -> String {
+    let mut out = String::from(
+        "program,recycled_pct,reused_pct,misscov_pct,forks_tme_pct,forks_recycled_pct,forks_respawned_pct,merges_per_alt,back_merges_pct\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2}\n",
+            r.label,
+            r.pct_recycled,
+            r.pct_reused,
+            r.pct_miss_cov,
+            r.pct_forks_tme,
+            r.pct_forks_recycled,
+            r.pct_forks_respawned,
+            r.merges_per_alt,
+            r.pct_back_merges
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_figure3_has_sane_shape() {
+        let mut budget = Budget::quick();
+        budget.committed_per_program = 2_000;
+        let rows = figure3(&budget);
+        assert_eq!(rows.len(), 8);
+        for row in &rows {
+            for v in row.ipc {
+                assert!(v > 0.05, "{}: degenerate IPC {v}", row.bench);
+            }
+        }
+        let text = render_figure3(&rows);
+        assert!(text.contains("compress"));
+        assert!(text.contains("average"));
+    }
+
+    #[test]
+    fn quick_table1_reports_recycling() {
+        let mut budget = Budget::quick();
+        budget.committed_per_program = 2_000;
+        let rows = table1(&budget);
+        assert_eq!(rows.len(), 8 + 3);
+        let avg = rows.iter().find(|r| r.label == "1 prog avg").expect("average row");
+        assert!(avg.pct_recycled > 1.0, "recycling should be visible: {avg:?}");
+        let text = render_table1(&rows);
+        assert!(text.contains("4 progs avg"));
+    }
+}
+

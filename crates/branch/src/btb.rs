@@ -1,0 +1,156 @@
+//! Set-associative branch target buffer with LRU replacement.
+
+/// One BTB entry: a tag and the predicted target address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BtbEntry {
+    tag: u64,
+    target: u64,
+    /// Lower = older; the set's LRU victim is the minimum.
+    lru: u64,
+}
+
+/// A decoupled branch target buffer.
+///
+/// Holds predicted targets for taken control instructions. Direction comes
+/// from the PHT; the BTB only answers "where does this go if taken". The
+/// paper's configuration is 256 entries, 4-way set-associative.
+#[derive(Debug, Clone)]
+pub struct Btb {
+    sets: Vec<Vec<BtbEntry>>,
+    ways: usize,
+    set_mask: u64,
+    clock: u64,
+}
+
+impl Btb {
+    /// Creates a BTB with `entries` total entries and `ways` associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not divisible into a power-of-two number of
+    /// sets of `ways` entries.
+    pub fn new(entries: usize, ways: usize) -> Btb {
+        assert!(ways > 0 && entries.is_multiple_of(ways), "BTB geometry inconsistent");
+        let num_sets = entries / ways;
+        assert!(num_sets.is_power_of_two(), "BTB set count must be a power of two");
+        Btb {
+            sets: vec![Vec::with_capacity(ways); num_sets],
+            ways,
+            set_mask: (num_sets - 1) as u64,
+            clock: 0,
+        }
+    }
+
+    fn set_index(&self, pc: u64) -> usize {
+        ((pc >> 2) & self.set_mask) as usize
+    }
+
+    fn tag(&self, pc: u64) -> u64 {
+        pc >> 2 >> self.set_mask.count_ones()
+    }
+
+    /// Predicted target of the control instruction at `pc`, if cached.
+    pub fn lookup(&self, pc: u64) -> Option<u64> {
+        let set = &self.sets[self.set_index(pc)];
+        let tag = self.tag(pc);
+        set.iter().find(|e| e.tag == tag).map(|e| e.target)
+    }
+
+    /// Installs or refreshes the target for `pc`, evicting LRU on conflict.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        self.clock += 1;
+        let clock = self.clock;
+        let tag = self.tag(pc);
+        let ways = self.ways;
+        let idx = self.set_index(pc);
+        let set = &mut self.sets[idx];
+        if let Some(e) = set.iter_mut().find(|e| e.tag == tag) {
+            e.target = target;
+            e.lru = clock;
+            return;
+        }
+        let entry = BtbEntry { tag, target, lru: clock };
+        if set.len() < ways {
+            set.push(entry);
+        } else {
+            let victim = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.lru)
+                .map(|(i, _)| i)
+                .expect("set is non-empty");
+            set[victim] = entry;
+        }
+    }
+
+    /// Total capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut btb = Btb::new(256, 4);
+        assert_eq!(btb.lookup(0x1000), None);
+        btb.update(0x1000, 0x2000);
+        assert_eq!(btb.lookup(0x1000), Some(0x2000));
+    }
+
+    #[test]
+    fn update_refreshes_target() {
+        let mut btb = Btb::new(256, 4);
+        btb.update(0x1000, 0x2000);
+        btb.update(0x1000, 0x3000);
+        assert_eq!(btb.lookup(0x1000), Some(0x3000));
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut btb = Btb::new(8, 2); // 4 sets, 2 ways
+        // Three PCs mapping to set 0: (pc>>2) & 3 == 0.
+        let a = 0x00; // set 0
+        let b = 0x40; // set 0 (0x40>>2 = 16, &3 = 0)
+        let c = 0x80; // set 0
+        btb.update(a, 1);
+        btb.update(b, 2);
+        // Touch `a` so `b` becomes LRU.
+        btb.update(a, 1);
+        btb.update(c, 3);
+        assert_eq!(btb.lookup(a), Some(1));
+        assert_eq!(btb.lookup(b), None, "LRU way should be evicted");
+        assert_eq!(btb.lookup(c), Some(3));
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut btb = Btb::new(8, 2);
+        btb.update(0x00, 1);
+        btb.update(0x04, 2); // next word → different set
+        assert_eq!(btb.lookup(0x00), Some(1));
+        assert_eq!(btb.lookup(0x04), Some(2));
+    }
+
+    #[test]
+    fn tags_disambiguate_aliases() {
+        let mut btb = Btb::new(8, 2);
+        // Same set, different tags.
+        btb.update(0x00, 1);
+        assert_eq!(btb.lookup(0x40), None);
+    }
+
+    #[test]
+    fn capacity_reported() {
+        assert_eq!(Btb::new(256, 4).capacity(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry")]
+    fn bad_geometry_rejected() {
+        Btb::new(10, 4);
+    }
+}

@@ -1,0 +1,140 @@
+//! JRS-style branch confidence estimation.
+//!
+//! Jacobsen, Rotenberg and Smith ("Assigning confidence to conditional
+//! branch predictions", MICRO-29) proposed tables of *resetting ones
+//! counters*: each correct prediction increments a saturating counter, any
+//! misprediction resets it to zero. A branch whose counter is high has had a
+//! long streak of correct predictions and is *high confidence*; TME forks
+//! alternate paths only on low-confidence branches (paper Section 2).
+
+/// A table of resetting ones-counters indexed gshare-style.
+#[derive(Debug, Clone)]
+pub struct ConfidenceEstimator {
+    table: Vec<u8>,
+    index_mask: u64,
+    max: u8,
+    threshold: u8,
+}
+
+impl ConfidenceEstimator {
+    /// Creates an estimator.
+    ///
+    /// `max` is the saturation ceiling; a branch is confident when its
+    /// counter is at least `threshold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two, or `threshold > max`,
+    /// or `threshold == 0` (which would make every branch confident and
+    /// disable TME entirely).
+    pub fn new(entries: usize, max: u8, threshold: u8) -> ConfidenceEstimator {
+        assert!(entries.is_power_of_two() && entries > 0, "table size must be a power of two");
+        assert!(threshold <= max, "threshold must not exceed the saturation ceiling");
+        assert!(threshold > 0, "a zero threshold disables low-confidence detection");
+        ConfidenceEstimator {
+            table: vec![0; entries],
+            index_mask: (entries - 1) as u64,
+            max,
+            threshold,
+        }
+    }
+
+    fn index(&self, pc: u64, history: u64) -> usize {
+        (((pc >> 2) ^ history) & self.index_mask) as usize
+    }
+
+    /// Whether the branch at `pc` (under `history`) is high-confidence.
+    pub fn is_confident(&self, pc: u64, history: u64) -> bool {
+        self.table[self.index(pc, history)] >= self.threshold
+    }
+
+    /// Records whether the prediction for this branch was correct.
+    pub fn update(&mut self, pc: u64, history: u64, correct: bool) {
+        let idx = self.index(pc, history);
+        let c = &mut self.table[idx];
+        if correct {
+            *c = (*c + 1).min(self.max);
+        } else {
+            *c = 0;
+        }
+    }
+
+    /// The confidence threshold.
+    pub fn threshold(&self) -> u8 {
+        self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() -> ConfidenceEstimator {
+        ConfidenceEstimator::new(1024, 15, 12)
+    }
+
+    #[test]
+    fn starts_low_confidence() {
+        let c = fresh();
+        assert!(!c.is_confident(0x1000, 0));
+    }
+
+    #[test]
+    fn streak_builds_confidence() {
+        let mut c = fresh();
+        for _ in 0..12 {
+            c.update(0x1000, 0, true);
+        }
+        assert!(c.is_confident(0x1000, 0));
+    }
+
+    #[test]
+    fn one_mispredict_resets() {
+        let mut c = fresh();
+        for _ in 0..15 {
+            c.update(0x1000, 0, true);
+        }
+        assert!(c.is_confident(0x1000, 0));
+        c.update(0x1000, 0, false);
+        assert!(!c.is_confident(0x1000, 0));
+        // Needs a full streak again.
+        for _ in 0..11 {
+            c.update(0x1000, 0, true);
+        }
+        assert!(!c.is_confident(0x1000, 0));
+        c.update(0x1000, 0, true);
+        assert!(c.is_confident(0x1000, 0));
+    }
+
+    #[test]
+    fn counter_saturates() {
+        let mut c = fresh();
+        for _ in 0..1000 {
+            c.update(0x1000, 0, true);
+        }
+        // Still behaves (no overflow) and stays confident.
+        assert!(c.is_confident(0x1000, 0));
+    }
+
+    #[test]
+    fn different_history_different_entry() {
+        let mut c = fresh();
+        for _ in 0..15 {
+            c.update(0x1000, 0b1, true);
+        }
+        assert!(c.is_confident(0x1000, 0b1));
+        assert!(!c.is_confident(0x1000, 0b10));
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn threshold_above_max_rejected() {
+        ConfidenceEstimator::new(16, 3, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "disables")]
+    fn zero_threshold_rejected() {
+        ConfidenceEstimator::new(16, 3, 0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Speculative, repairable global branch history.
+
+/// A global history register, updated speculatively at prediction time.
+///
+/// The pipeline pushes each *predicted* outcome as soon as a branch is
+/// fetched so younger predictions see up-to-date history; when a branch
+/// turns out to be mispredicted the register is restored from the value the
+/// branch carried and re-pushed with the true outcome. One register exists
+/// per hardware context, and TME copies it when forking an alternate path
+/// (paper Section 3.4: "the global history register used for branch
+/// prediction is then updated with that prediction").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GlobalHistory {
+    bits: u64,
+    mask: u64,
+}
+
+impl GlobalHistory {
+    /// Creates an all-zero history of `length` bits (1..=64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` is zero or greater than 64.
+    pub fn new(length: u32) -> GlobalHistory {
+        assert!((1..=64).contains(&length), "history length must be 1..=64");
+        GlobalHistory {
+            bits: 0,
+            mask: if length == 64 { u64::MAX } else { (1u64 << length) - 1 },
+        }
+    }
+
+    /// The current history value (for PHT/confidence indexing).
+    pub fn bits(self) -> u64 {
+        self.bits
+    }
+
+    /// Shifts in one outcome (`true` = taken).
+    pub fn push(&mut self, taken: bool) {
+        self.bits = ((self.bits << 1) | taken as u64) & self.mask;
+    }
+
+    /// Restores the register to a previously captured value, then shifts in
+    /// the corrected outcome — the misprediction repair sequence.
+    pub fn repair(&mut self, at_prediction: u64, actual: bool) {
+        self.bits = at_prediction & self.mask;
+        self.push(actual);
+    }
+
+    /// Overwrites the register (context resynchronisation via the MSB).
+    pub fn set(&mut self, bits: u64) {
+        self.bits = bits & self.mask;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_shifts_in_lsb() {
+        let mut h = GlobalHistory::new(4);
+        h.push(true);
+        h.push(false);
+        h.push(true);
+        assert_eq!(h.bits(), 0b101);
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let mut h = GlobalHistory::new(3);
+        for _ in 0..10 {
+            h.push(true);
+        }
+        assert_eq!(h.bits(), 0b111);
+    }
+
+    #[test]
+    fn repair_restores_and_corrects() {
+        let mut h = GlobalHistory::new(8);
+        h.push(true);
+        let snapshot = h.bits();
+        // Speculatively predicted not-taken, pushed 0, then went further.
+        h.push(false);
+        h.push(true);
+        h.push(true);
+        // Branch resolves: actually taken. Repair to snapshot + actual.
+        h.repair(snapshot, true);
+        assert_eq!(h.bits(), 0b11);
+    }
+
+    #[test]
+    fn full_width_history() {
+        let mut h = GlobalHistory::new(64);
+        h.push(true);
+        assert_eq!(h.bits(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "history length")]
+    fn zero_length_rejected() {
+        GlobalHistory::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "history length")]
+    fn overlong_rejected() {
+        GlobalHistory::new(65);
+    }
+}

@@ -1,0 +1,312 @@
+//! Branch prediction substrate for the `multipath` simulator.
+//!
+//! Implements the structures named in Section 4.1 of the HPCA'99 paper:
+//!
+//! * [`Gshare`] — a pattern history table of 2-bit saturating counters,
+//!   indexed by the XOR of the branch address and the global history
+//!   register (McFarling's gshare; the paper uses a 2K×2-bit PHT).
+//! * [`Btb`] — a decoupled branch target buffer (256-entry, 4-way
+//!   set-associative) in the Calder/Grunwald style.
+//! * [`ReturnStack`] — a 12-entry per-context return-address stack.
+//! * [`ConfidenceEstimator`] — a Jacobsen/Rotenberg/Smith "ones counter"
+//!   confidence table; TME forks alternate paths only on *low-confidence*
+//!   branches.
+//! * [`GlobalHistory`] — a speculatively-updated, repairable global history
+//!   register (one per hardware context).
+//! * [`BranchPredictor`] — the composite structure shared by all contexts.
+//!
+//! The predictor is a passive table structure: the pipeline decides *when*
+//! to predict, update, and repair. All methods are O(1).
+//!
+//! # Examples
+//!
+//! ```
+//! use multipath_branch::{BranchPredictor, GlobalHistory, PredictorConfig};
+//!
+//! let mut bp = BranchPredictor::new(PredictorConfig::default());
+//! let mut ghr = GlobalHistory::new(bp.history_bits());
+//! let pc = 0x1000;
+//! for _ in 0..32 {
+//!     let p = bp.predict(pc, &ghr);
+//!     bp.update(pc, ghr.bits(), true, p.taken);
+//!     ghr.push(true);
+//! }
+//! // After warm-up, an always-taken branch is predicted taken confidently.
+//! assert!(bp.predict(pc, &ghr).taken);
+//! ```
+
+pub mod btb;
+pub mod confidence;
+pub mod history;
+pub mod pht;
+pub mod ras;
+
+pub use btb::Btb;
+pub use confidence::ConfidenceEstimator;
+pub use history::GlobalHistory;
+pub use pht::{Bimodal, Gshare};
+pub use ras::ReturnStack;
+
+/// Which direction-prediction scheme the composite predictor uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DirectionScheme {
+    /// gshare alone (the paper's configuration).
+    #[default]
+    Gshare,
+    /// A PC-indexed bimodal table alone.
+    Bimodal,
+    /// McFarling's combining predictor: gshare and bimodal in parallel,
+    /// with a 2-bit selector table trained toward whichever component was
+    /// right when they disagree.
+    Combining,
+}
+
+/// Configuration for the composite [`BranchPredictor`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredictorConfig {
+    /// Number of PHT entries (must be a power of two). Paper: 2048.
+    pub pht_entries: usize,
+    /// Number of BTB entries. Paper: 256.
+    pub btb_entries: usize,
+    /// BTB associativity. Paper: 4.
+    pub btb_ways: usize,
+    /// Number of confidence-table entries (power of two).
+    pub conf_entries: usize,
+    /// Saturation ceiling of the confidence ones-counters.
+    pub conf_max: u8,
+    /// A branch is *confident* when its counter is at least this value.
+    pub conf_threshold: u8,
+    /// Return-stack depth per context. Paper: 12.
+    pub ras_depth: usize,
+    /// Direction-prediction scheme.
+    pub scheme: DirectionScheme,
+}
+
+impl Default for PredictorConfig {
+    /// The paper's baseline: 2K×2b gshare PHT, 256-entry 4-way BTB,
+    /// 12-entry RAS, and a 1K-entry ones-counter confidence table
+    /// (threshold 12 of 15, i.e. a branch must have a strong recent streak
+    /// of correct predictions to be considered confident).
+    fn default() -> PredictorConfig {
+        PredictorConfig {
+            pht_entries: 2048,
+            btb_entries: 256,
+            btb_ways: 4,
+            conf_entries: 1024,
+            conf_max: 15,
+            conf_threshold: 12,
+            ras_depth: 12,
+            scheme: DirectionScheme::Gshare,
+        }
+    }
+}
+
+/// The outcome of a direction prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prediction {
+    /// Predicted direction.
+    pub taken: bool,
+    /// Whether the confidence estimator considers this prediction
+    /// high-confidence. TME forks only when this is `false`.
+    pub confident: bool,
+}
+
+/// The composite predictor shared by all hardware contexts.
+///
+/// Direction (PHT) and confidence tables are shared; the global history
+/// register and return stack are per-context and owned by the pipeline.
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    scheme: DirectionScheme,
+    gshare: Gshare,
+    bimodal: Bimodal,
+    /// 2-bit chooser for the combining scheme: taken = "use gshare".
+    selector: Bimodal,
+    btb: Btb,
+    confidence: ConfidenceEstimator,
+    history_bits: u32,
+    ras_depth: usize,
+}
+
+impl BranchPredictor {
+    /// Creates a predictor from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if table sizes are not powers of two or the BTB geometry is
+    /// inconsistent.
+    pub fn new(config: PredictorConfig) -> BranchPredictor {
+        let gshare = Gshare::new(config.pht_entries);
+        let history_bits = gshare.index_bits();
+        BranchPredictor {
+            scheme: config.scheme,
+            gshare,
+            bimodal: Bimodal::new(config.pht_entries),
+            selector: Bimodal::new(config.pht_entries),
+            btb: Btb::new(config.btb_entries, config.btb_ways),
+            confidence: ConfidenceEstimator::new(
+                config.conf_entries,
+                config.conf_max,
+                config.conf_threshold,
+            ),
+            history_bits,
+            ras_depth: config.ras_depth,
+        }
+    }
+
+    /// Number of global-history bits the PHT index consumes; contexts size
+    /// their [`GlobalHistory`] with this.
+    pub fn history_bits(&self) -> u32 {
+        self.history_bits
+    }
+
+    /// Depth for per-context [`ReturnStack`]s.
+    pub fn ras_depth(&self) -> usize {
+        self.ras_depth
+    }
+
+    /// Predicts the direction of the conditional branch at `pc` and reports
+    /// confidence.
+    pub fn predict(&self, pc: u64, history: &GlobalHistory) -> Prediction {
+        let taken = match self.scheme {
+            DirectionScheme::Gshare => self.gshare.predict(pc, history.bits()),
+            DirectionScheme::Bimodal => self.bimodal.predict(pc),
+            DirectionScheme::Combining => {
+                if self.selector.predict(pc) {
+                    self.gshare.predict(pc, history.bits())
+                } else {
+                    self.bimodal.predict(pc)
+                }
+            }
+        };
+        Prediction { taken, confident: self.confidence.is_confident(pc, history.bits()) }
+    }
+
+    /// Looks up the predicted target of the control instruction at `pc`.
+    pub fn predict_target(&self, pc: u64) -> Option<u64> {
+        self.btb.lookup(pc)
+    }
+
+    /// Trains direction + confidence for a resolved conditional branch.
+    ///
+    /// `history` must be the history value *used at prediction time*
+    /// (the pipeline carries it with the in-flight branch).
+    pub fn update(&mut self, pc: u64, history: u64, taken: bool, predicted: bool) {
+        if self.scheme == DirectionScheme::Combining {
+            // Train the chooser toward whichever component was correct
+            // (only when they disagreed, per McFarling).
+            let g = self.gshare.predict(pc, history);
+            let b = self.bimodal.predict(pc);
+            if g != b {
+                self.selector.update(pc, g == taken);
+            }
+        }
+        self.gshare.update(pc, history, taken);
+        self.bimodal.update(pc, taken);
+        self.confidence.update(pc, history, taken == predicted);
+    }
+
+    /// Installs or refreshes a BTB entry for a taken control instruction.
+    pub fn update_target(&mut self, pc: u64, target: u64) {
+        self.btb.update(pc, target);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_paper() {
+        let c = PredictorConfig::default();
+        assert_eq!(c.pht_entries, 2048);
+        assert_eq!(c.btb_entries, 256);
+        assert_eq!(c.btb_ways, 4);
+        assert_eq!(c.ras_depth, 12);
+        assert_eq!(c.scheme, DirectionScheme::Gshare);
+    }
+
+    #[test]
+    fn combining_tracks_the_better_component() {
+        // A branch that alternates with period 2 is learnable by gshare
+        // (history separates the phases) but not by bimodal; the chooser
+        // must migrate to gshare.
+        let config =
+            PredictorConfig { scheme: DirectionScheme::Combining, ..Default::default() };
+        let mut bp = BranchPredictor::new(config);
+        let mut ghr = GlobalHistory::new(bp.history_bits());
+        let mut taken = false;
+        let mut late_misses = 0;
+        for i in 0..400 {
+            let p = bp.predict(0x5000, &ghr);
+            if i >= 300 && p.taken != taken {
+                late_misses += 1;
+            }
+            bp.update(0x5000, ghr.bits(), taken, p.taken);
+            ghr.push(taken);
+            taken = !taken;
+        }
+        assert!(
+            late_misses <= 5,
+            "combining predictor should converge on gshare: {late_misses} late misses"
+        );
+    }
+
+    #[test]
+    fn bimodal_scheme_is_history_blind() {
+        let config =
+            PredictorConfig { scheme: DirectionScheme::Bimodal, ..Default::default() };
+        let mut bp = BranchPredictor::new(config);
+        let ghr = GlobalHistory::new(bp.history_bits());
+        for _ in 0..8 {
+            let p = bp.predict(0x600, &ghr);
+            bp.update(0x600, ghr.bits(), true, p.taken);
+        }
+        // Same answer whatever the (untrained) history register holds.
+        let mut other = GlobalHistory::new(bp.history_bits());
+        other.set(0x3ff);
+        assert_eq!(bp.predict(0x600, &ghr).taken, bp.predict(0x600, &other).taken);
+    }
+
+    #[test]
+    fn composite_learns_biased_branch() {
+        let mut bp = BranchPredictor::new(PredictorConfig::default());
+        let mut ghr = GlobalHistory::new(bp.history_bits());
+        for _ in 0..32 {
+            let p = bp.predict(0x4000, &ghr);
+            bp.update(0x4000, ghr.bits(), true, p.taken);
+            ghr.push(true);
+        }
+        let p = bp.predict(0x4000, &ghr);
+        assert!(p.taken);
+        assert!(p.confident);
+    }
+
+    #[test]
+    fn alternating_branch_loses_confidence() {
+        let mut bp = BranchPredictor::new(PredictorConfig::default());
+        // Constant (zero) history so gshare sees a strict alternation on
+        // one counter, which a 2-bit counter cannot learn.
+        let ghr = GlobalHistory::new(bp.history_bits());
+        let mut mispredicts = 0;
+        let mut taken = false;
+        for _ in 0..64 {
+            let p = bp.predict(0x8000, &ghr);
+            if p.taken != taken {
+                mispredicts += 1;
+            }
+            bp.update(0x8000, ghr.bits(), taken, p.taken);
+            taken = !taken;
+        }
+        assert!(mispredicts > 16, "alternation should defeat a 2-bit counter");
+        assert!(!bp.predict(0x8000, &ghr).confident);
+    }
+
+    #[test]
+    fn btb_round_trips_targets() {
+        let mut bp = BranchPredictor::new(PredictorConfig::default());
+        assert_eq!(bp.predict_target(0x1234), None);
+        bp.update_target(0x1234, 0x9999);
+        assert_eq!(bp.predict_target(0x1234), Some(0x9999));
+    }
+}

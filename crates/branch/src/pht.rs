@@ -1,0 +1,230 @@
+//! Pattern history table of 2-bit saturating counters with gshare indexing.
+
+/// A 2-bit saturating counter: 0,1 predict not-taken; 2,3 predict taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TwoBitCounter(u8);
+
+impl TwoBitCounter {
+    /// A counter initialised to weakly not-taken (1).
+    pub fn weakly_not_taken() -> TwoBitCounter {
+        TwoBitCounter(1)
+    }
+
+    /// Current predicted direction.
+    pub fn taken(self) -> bool {
+        self.0 >= 2
+    }
+
+    /// Trains the counter toward the actual outcome.
+    pub fn train(&mut self, taken: bool) {
+        if taken {
+            self.0 = (self.0 + 1).min(3);
+        } else {
+            self.0 = self.0.saturating_sub(1);
+        }
+    }
+
+    /// Raw counter value, `0..=3`.
+    pub fn value(self) -> u8 {
+        self.0
+    }
+}
+
+/// A gshare direction predictor: PHT indexed by `(pc >> 2) XOR history`.
+///
+/// The paper uses a 2K-entry, 2-bit PHT accessed by the XOR of the lower
+/// address bits and the global history register (McFarling; Yeh/Patt).
+#[derive(Debug, Clone)]
+pub struct Gshare {
+    table: Vec<TwoBitCounter>,
+    index_mask: u64,
+    index_bits: u32,
+}
+
+impl Gshare {
+    /// Creates a gshare PHT with `entries` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two or is zero.
+    pub fn new(entries: usize) -> Gshare {
+        assert!(entries.is_power_of_two() && entries > 0, "PHT size must be a power of two");
+        Gshare {
+            table: vec![TwoBitCounter::weakly_not_taken(); entries],
+            index_mask: (entries - 1) as u64,
+            index_bits: entries.trailing_zeros(),
+        }
+    }
+
+    /// Number of index bits, which is also the useful history length.
+    pub fn index_bits(&self) -> u32 {
+        self.index_bits
+    }
+
+    fn index(&self, pc: u64, history: u64) -> usize {
+        // Instructions are 4-byte aligned; drop the low zero bits first.
+        (((pc >> 2) ^ history) & self.index_mask) as usize
+    }
+
+    /// Predicted direction for the branch at `pc` under `history`.
+    pub fn predict(&self, pc: u64, history: u64) -> bool {
+        self.table[self.index(pc, history)].taken()
+    }
+
+    /// Trains the counter the prediction used.
+    pub fn update(&mut self, pc: u64, history: u64, taken: bool) {
+        let idx = self.index(pc, history);
+        self.table[idx].train(taken);
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+/// A bimodal (PC-indexed, history-free) direction predictor.
+///
+/// The classic per-branch 2-bit scheme: cheap, immune to history
+/// pollution, and the standard partner for gshare in a McFarling
+/// combining predictor.
+#[derive(Debug, Clone)]
+pub struct Bimodal {
+    table: Vec<TwoBitCounter>,
+    index_mask: u64,
+}
+
+impl Bimodal {
+    /// Creates a bimodal table with `entries` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two or is zero.
+    pub fn new(entries: usize) -> Bimodal {
+        assert!(entries.is_power_of_two() && entries > 0, "table size must be a power of two");
+        Bimodal {
+            table: vec![TwoBitCounter::weakly_not_taken(); entries],
+            index_mask: (entries - 1) as u64,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) & self.index_mask) as usize
+    }
+
+    /// Predicted direction for the branch at `pc`.
+    pub fn predict(&self, pc: u64) -> bool {
+        self.table[self.index(pc)].taken()
+    }
+
+    /// Trains the branch's counter.
+    pub fn update(&mut self, pc: u64, taken: bool) {
+        let idx = self.index(pc);
+        self.table[idx].train(taken);
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_saturates_both_ends() {
+        let mut c = TwoBitCounter::weakly_not_taken();
+        for _ in 0..10 {
+            c.train(true);
+        }
+        assert_eq!(c.value(), 3);
+        assert!(c.taken());
+        for _ in 0..10 {
+            c.train(false);
+        }
+        assert_eq!(c.value(), 0);
+        assert!(!c.taken());
+    }
+
+    #[test]
+    fn hysteresis_survives_single_flip() {
+        let mut c = TwoBitCounter::weakly_not_taken();
+        c.train(true);
+        c.train(true); // saturated taken
+        c.train(false); // one not-taken
+        assert!(c.taken(), "2-bit counter tolerates a single anomaly");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        Gshare::new(1000);
+    }
+
+    #[test]
+    fn index_uses_history() {
+        let g = Gshare::new(2048);
+        assert_eq!(g.index_bits(), 11);
+        // Same PC, different history → different counters (for these values).
+        assert_ne!(g.index(0x1000, 0), g.index(0x1000, 0x7ff));
+    }
+
+    #[test]
+    fn learns_direction_per_history_pattern() {
+        let mut g = Gshare::new(2048);
+        // Branch taken iff history bit 0 set.
+        for _ in 0..8 {
+            g.update(0x1000, 0b0, false);
+            g.update(0x1000, 0b1, true);
+        }
+        assert!(!g.predict(0x1000, 0b0));
+        assert!(g.predict(0x1000, 0b1));
+    }
+
+    #[test]
+    fn word_aligned_pcs_map_to_distinct_entries() {
+        let g = Gshare::new(2048);
+        assert_ne!(g.index(0x1000, 0), g.index(0x1004, 0));
+    }
+
+    #[test]
+    fn bimodal_learns_per_branch_bias() {
+        let mut b = Bimodal::new(1024);
+        for _ in 0..4 {
+            b.update(0x100, true);
+            b.update(0x104, false);
+        }
+        assert!(b.predict(0x100));
+        assert!(!b.predict(0x104));
+    }
+
+    #[test]
+    fn bimodal_ignores_history_patterns() {
+        // An alternating branch stays at the mercy of the 2-bit counter
+        // regardless of any global pattern — that's the point of pairing
+        // it with gshare.
+        let mut b = Bimodal::new(64);
+        let mut flips = 0;
+        let mut taken = false;
+        for _ in 0..64 {
+            if b.predict(0x40) != taken {
+                flips += 1;
+            }
+            b.update(0x40, taken);
+            taken = !taken;
+        }
+        assert!(flips > 16);
+    }
+}

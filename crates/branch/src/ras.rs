@@ -1,0 +1,116 @@
+//! Per-context return-address stack.
+
+/// A fixed-depth return-address stack (12 entries per context in the paper).
+///
+/// Calls push the return address; returns pop the predicted destination. On
+/// overflow the oldest entry is discarded (circular behaviour), matching
+/// hardware return stacks. The stack is `Clone` so that TME can duplicate
+/// predictor state when spawning an alternate path, and so the pipeline can
+/// snapshot it for squash repair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReturnStack {
+    entries: Vec<u64>,
+    depth: usize,
+}
+
+impl ReturnStack {
+    /// Creates an empty return stack with the given depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn new(depth: usize) -> ReturnStack {
+        assert!(depth > 0, "return stack depth must be positive");
+        ReturnStack { entries: Vec::with_capacity(depth), depth }
+    }
+
+    /// Pushes a return address (the instruction after a call).
+    pub fn push(&mut self, return_address: u64) {
+        if self.entries.len() == self.depth {
+            self.entries.remove(0);
+        }
+        self.entries.push(return_address);
+    }
+
+    /// Pops the predicted return destination; `None` when empty.
+    pub fn pop(&mut self) -> Option<u64> {
+        self.entries.pop()
+    }
+
+    /// The address a `ret` would be predicted to, without popping.
+    pub fn peek(&self) -> Option<u64> {
+        self.entries.last().copied()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the stack holds no predictions.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Discards all entries (used when a context is recycled for a new
+    /// program or resynchronised with a primary thread).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Maximum depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut ras = ReturnStack::new(12);
+        ras.push(0x100);
+        ras.push(0x200);
+        assert_eq!(ras.pop(), Some(0x200));
+        assert_eq!(ras.pop(), Some(0x100));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn overflow_discards_oldest() {
+        let mut ras = ReturnStack::new(2);
+        ras.push(1);
+        ras.push(2);
+        ras.push(3);
+        assert_eq!(ras.len(), 2);
+        assert_eq!(ras.pop(), Some(3));
+        assert_eq!(ras.pop(), Some(2));
+        assert_eq!(ras.pop(), None, "oldest entry was discarded");
+    }
+
+    #[test]
+    fn peek_does_not_pop() {
+        let mut ras = ReturnStack::new(4);
+        ras.push(7);
+        assert_eq!(ras.peek(), Some(7));
+        assert_eq!(ras.len(), 1);
+    }
+
+    #[test]
+    fn clone_for_fork_is_independent() {
+        let mut a = ReturnStack::new(4);
+        a.push(1);
+        let mut b = a.clone();
+        b.push(2);
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_depth_rejected() {
+        ReturnStack::new(0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests for the branch substrate: structures never panic on
+//! arbitrary addresses, BTB never exceeds capacity, a strongly biased
+//! branch converges, and the confidence estimator tracks streaks.
+
+use multipath_branch::{
+    Btb, BranchPredictor, ConfidenceEstimator, GlobalHistory, PredictorConfig, ReturnStack,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn predictor_total_on_arbitrary_pcs(pcs in prop::collection::vec(any::<u64>(), 1..200)) {
+        let mut bp = BranchPredictor::new(PredictorConfig::default());
+        let mut ghr = GlobalHistory::new(bp.history_bits());
+        for pc in pcs {
+            let p = bp.predict(pc, &ghr);
+            bp.update(pc, ghr.bits(), pc & 1 == 0, p.taken);
+            bp.update_target(pc, pc ^ 0xffff);
+            ghr.push(pc & 1 == 0);
+        }
+    }
+
+    #[test]
+    fn btb_lookup_matches_last_update(
+        ops in prop::collection::vec((any::<u16>(), any::<u32>()), 1..100)
+    ) {
+        let mut btb = Btb::new(64, 4);
+        let mut last = std::collections::HashMap::new();
+        for (pc, tgt) in ops {
+            let pc = (pc as u64) << 2;
+            btb.update(pc, tgt as u64);
+            last.insert(pc, tgt as u64);
+        }
+        // Everything the BTB still holds must be the latest value written.
+        for (&pc, &tgt) in &last {
+            if let Some(found) = btb.lookup(pc) {
+                prop_assert_eq!(found, tgt);
+            }
+        }
+    }
+
+    #[test]
+    fn ras_never_exceeds_depth(pushes in prop::collection::vec(any::<u64>(), 0..100)) {
+        let mut ras = ReturnStack::new(12);
+        for a in &pushes {
+            ras.push(*a);
+            prop_assert!(ras.len() <= 12);
+        }
+        // Pops come back in LIFO order for the most recent <=12 pushes.
+        let tail: Vec<u64> = pushes.iter().rev().take(12).copied().collect();
+        for expect in tail {
+            prop_assert_eq!(ras.pop(), Some(expect));
+        }
+        prop_assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn biased_branch_converges(bias_taken in any::<bool>(), pc in any::<u32>()) {
+        let mut bp = BranchPredictor::new(PredictorConfig::default());
+        let mut ghr = GlobalHistory::new(bp.history_bits());
+        let pc = pc as u64;
+        for _ in 0..64 {
+            let p = bp.predict(pc, &ghr);
+            bp.update(pc, ghr.bits(), bias_taken, p.taken);
+            ghr.push(bias_taken);
+        }
+        let p = bp.predict(pc, &ghr);
+        prop_assert_eq!(p.taken, bias_taken);
+        prop_assert!(p.confident);
+    }
+
+    #[test]
+    fn confidence_streak_invariant(outcomes in prop::collection::vec(any::<bool>(), 1..200)) {
+        // After the sequence, confidence equals (current correct streak >= threshold).
+        let mut c = ConfidenceEstimator::new(256, 15, 12);
+        let mut streak: u32 = 0;
+        for correct in &outcomes {
+            c.update(0x100, 0, *correct);
+            streak = if *correct { (streak + 1).min(15) } else { 0 };
+        }
+        prop_assert_eq!(c.is_confident(0x100, 0), streak >= 12);
+    }
+}

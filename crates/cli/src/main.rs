@@ -1,0 +1,202 @@
+//! `multipath` — command-line driver for the instruction-recycling
+//! simulator.
+//!
+//! ```text
+//! multipath run [OPTIONS] <BENCH>...       simulate one workload
+//! multipath compare [OPTIONS] <BENCH>...   all six configurations side by side
+//! multipath list                           list benchmarks, machines, policies
+//! multipath disasm <BENCH>                 disassemble a kernel
+//!
+//! Options:
+//!   --features <smt|tme|rec|rec-ru|rec-rs|rec-rs-ru>   (run only; default rec-rs-ru)
+//!   --machine  <big.2.16|big.1.8|small.2.8|small.1.8>  (default big.2.16)
+//!   --policy   <stop-N|fetch-N|nostop-N>               (default stop-8)
+//!   --commits  <N>      committed instructions per program (default 30000)
+//!   --seed     <N>      workload seed (default 1)
+//! ```
+
+use multipath_core::{AltPolicy, Features, SimConfig, Simulator, Stats};
+use multipath_workload::{kernels, mix, Benchmark};
+use std::process::ExitCode;
+
+struct Options {
+    features: Features,
+    machine: SimConfig,
+    policy: Option<AltPolicy>,
+    commits: u64,
+    seed: u64,
+    benches: Vec<Benchmark>,
+}
+
+fn usage() -> ExitCode {
+    eprint!(
+        "usage:\n  multipath run [OPTIONS] <BENCH>...\n  multipath compare [OPTIONS] <BENCH>...\n  \
+         multipath list\n  multipath disasm <BENCH>\n\noptions:\n  --features smt|tme|rec|rec-ru|rec-rs|rec-rs-ru\n  \
+         --machine big.2.16|big.1.8|small.2.8|small.1.8\n  --policy stop-N|fetch-N|nostop-N\n  \
+         --commits N   --seed N\n"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_features(s: &str) -> Option<Features> {
+    Some(match s {
+        "smt" => Features::smt(),
+        "tme" => Features::tme(),
+        "rec" => Features::rec(),
+        "rec-ru" => Features::rec_ru(),
+        "rec-rs" => Features::rec_rs(),
+        "rec-rs-ru" => Features::rec_rs_ru(),
+        _ => return None,
+    })
+}
+
+fn parse_machine(s: &str) -> Option<SimConfig> {
+    Some(match s {
+        "big.2.16" => SimConfig::big_2_16(),
+        "big.1.8" => SimConfig::big_1_8(),
+        "small.2.8" => SimConfig::small_2_8(),
+        "small.1.8" => SimConfig::small_1_8(),
+        _ => return None,
+    })
+}
+
+fn parse_policy(s: &str) -> Option<AltPolicy> {
+    let (kind, n) = s.split_once('-')?;
+    let n: u32 = n.parse().ok()?;
+    Some(match kind {
+        "stop" => AltPolicy::Stop(n),
+        "fetch" => AltPolicy::FetchOnly(n),
+        "nostop" => AltPolicy::NoStop(n),
+        _ => return None,
+    })
+}
+
+fn parse_options(args: &[String]) -> Option<Options> {
+    let mut opts = Options {
+        features: Features::rec_rs_ru(),
+        machine: SimConfig::big_2_16(),
+        policy: None,
+        commits: 30_000,
+        seed: 1,
+        benches: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--features" => opts.features = parse_features(it.next()?)?,
+            "--machine" => opts.machine = parse_machine(it.next()?)?,
+            "--policy" => opts.policy = Some(parse_policy(it.next()?)?),
+            "--commits" => opts.commits = it.next()?.parse().ok()?,
+            "--seed" => opts.seed = it.next()?.parse().ok()?,
+            name => match Benchmark::from_name(name) {
+                Some(b) => opts.benches.push(b),
+                None => {
+                    eprintln!("error: unknown benchmark or option '{name}' (see `multipath list`)");
+                    return None;
+                }
+            },
+        }
+    }
+    if opts.benches.is_empty() {
+        return None;
+    }
+    if opts.benches.len() > opts.machine.contexts {
+        eprintln!(
+            "error: {} programs exceed the machine's {} hardware contexts",
+            opts.benches.len(),
+            opts.machine.contexts
+        );
+        return None;
+    }
+    Some(opts)
+}
+
+fn configure(opts: &Options, features: Features) -> SimConfig {
+    let mut config = opts.machine.clone().with_features(features);
+    if let Some(p) = opts.policy {
+        config = config.with_alt_policy(p);
+    }
+    config
+}
+
+fn simulate(opts: &Options, features: Features) -> Stats {
+    let programs = mix::programs(&opts.benches, opts.seed);
+    let mut sim = Simulator::new(configure(opts, features), programs);
+    let total = opts.commits * opts.benches.len() as u64;
+    sim.run(total, total.saturating_mul(100).max(1_000_000));
+    sim.stats().clone()
+}
+
+fn print_stats(label: &str, s: &Stats) {
+    println!(
+        "{label:10} IPC {:5.2} | acc {:5.1}% | recycled {:5.1}% reused {:4.2}% | \
+         forks {:6} cov {:5.1}% | merges {:5} (back {:4.1}%) respawns {:5}",
+        s.ipc(),
+        s.branch_accuracy(),
+        s.pct_recycled(),
+        s.pct_reused(),
+        s.forks,
+        s.pct_miss_covered(),
+        s.merges,
+        s.pct_back_merges(),
+        s.respawns,
+    );
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let Some(opts) = parse_options(args) else { return usage() };
+    let stats = simulate(&opts, opts.features);
+    let names: Vec<&str> = opts.benches.iter().map(|b| b.name()).collect();
+    println!(
+        "workload: {} | {} committed in {} cycles",
+        names.join("+"),
+        stats.committed,
+        stats.cycles
+    );
+    print_stats(opts.features.label(), &stats);
+    ExitCode::SUCCESS
+}
+
+fn cmd_compare(args: &[String]) -> ExitCode {
+    let Some(opts) = parse_options(args) else { return usage() };
+    let names: Vec<&str> = opts.benches.iter().map(|b| b.name()).collect();
+    println!("workload: {}", names.join("+"));
+    for features in Features::all_six() {
+        let stats = simulate(&opts, features);
+        print_stats(features.label(), &stats);
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_list() -> ExitCode {
+    println!("benchmarks:");
+    for b in Benchmark::ALL {
+        println!("  {:10} {}", b.name(), if b.is_fp() { "(floating point)" } else { "" });
+    }
+    println!("machines:   big.2.16  big.1.8  small.2.8  small.1.8");
+    println!("features:   smt  tme  rec  rec-ru  rec-rs  rec-rs-ru");
+    println!("policies:   stop-N  fetch-N  nostop-N   (default stop-8)");
+    ExitCode::SUCCESS
+}
+
+fn cmd_disasm(args: &[String]) -> ExitCode {
+    let Some(name) = args.first() else { return usage() };
+    let Some(bench) = Benchmark::from_name(name) else { return usage() };
+    let program = kernels::build(bench, 1);
+    print!("{}", program.listing());
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        Some((cmd, rest)) => match cmd.as_str() {
+            "run" => cmd_run(rest),
+            "compare" => cmd_compare(rest),
+            "list" => cmd_list(),
+            "disasm" => cmd_disasm(rest),
+            _ => usage(),
+        },
+        None => usage(),
+    }
+}

@@ -1,0 +1,370 @@
+//! Per-context active lists that double as recycle traces.
+//!
+//! A conventional active list (reorder buffer) holds only in-flight
+//! instructions. The recycle architecture's key observation (Section 3) is
+//! that the storage already contains a decoded trace — so entries are
+//! *retained* after commit or squash until their circular-buffer slot is
+//! physically overwritten, and the recycling datapath can stream from any
+//! still-valid slot.
+//!
+//! Slots are addressed by a per-context monotone sequence number; the slot
+//! for sequence `s` is `s % capacity`, and a retained entry is still valid
+//! exactly when the slot's stored sequence matches. Merge points carry
+//! `(seq, pc)` pairs and are invalidated by overwrite automatically.
+
+use crate::ids::{CtxId, InstTag, PhysReg};
+use multipath_isa::{Inst, Reg};
+
+/// Execution status of an entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryState {
+    /// In the instruction queue awaiting operands and a functional unit.
+    Pending,
+    /// Issued to a functional unit; completion event scheduled.
+    Issued,
+    /// Finished (result written, branch resolved) — eligible to commit.
+    Done,
+}
+
+/// Resolution state of an in-flight control instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BranchState {
+    /// Predicted direction (always `true` for unconditional control).
+    pub predicted_taken: bool,
+    /// Predicted target if taken.
+    pub predicted_target: u64,
+    /// Global history value at prediction time (for trainer and repair).
+    pub history: u64,
+    /// Alternate context forked off this branch, if any.
+    pub fork: Option<CtxId>,
+    /// Whether resolution has happened.
+    pub resolved: bool,
+    /// Actual direction once resolved.
+    pub actual_taken: Option<bool>,
+    /// Actual target once resolved.
+    pub actual_target: Option<u64>,
+}
+
+/// Memory access state of an in-flight load or store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemState {
+    /// Effective address once computed.
+    pub addr: Option<u64>,
+    /// Store data once read.
+    pub store_value: u64,
+}
+
+/// One active-list entry: everything needed to commit the instruction
+/// *and* to recycle it later (decoded opcode, logical registers, and the
+/// physical mappings of Section 3's "additional information").
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlEntry {
+    /// Per-context trace sequence number (slot = `seq % capacity`).
+    pub seq: u64,
+    /// Globally unique dynamic-instance tag.
+    pub tag: InstTag,
+    /// The instruction's address.
+    pub pc: u64,
+    /// The decoded instruction.
+    pub inst: Inst,
+    /// Architectural destination, if any.
+    pub dest: Option<Reg>,
+    /// Physical register allocated (or shared, when reused) for the
+    /// destination.
+    pub new_preg: Option<PhysReg>,
+    /// Mapping displaced at rename — freed at commit, restored on squash.
+    pub old_preg: Option<PhysReg>,
+    /// Source physical registers (reader references are held from rename
+    /// until issue; squash of a pending entry must release them).
+    pub srcs: [Option<PhysReg>; 2],
+    /// Execution status.
+    pub state: EntryState,
+    /// Whether a real result was produced (reuse requires it).
+    pub executed: bool,
+    /// Entered via the recycle datapath.
+    pub recycled: bool,
+    /// Result reused without execution.
+    pub reused: bool,
+    /// Fetched under the `fetch-N` policy after resolution: renamed into
+    /// the trace but never dispatched.
+    pub fetched_only: bool,
+    /// Control state for branches/jumps.
+    pub branch: Option<BranchState>,
+    /// Memory state for loads/stores.
+    pub mem: Option<MemState>,
+    /// Direction the trace actually followed after this conditional branch
+    /// (i.e. the prediction it was fetched under) — consulted when a
+    /// recycled stream re-checks predictions.
+    pub taken_path: Option<bool>,
+    /// Whether this entry's registers are still held (live or inactive
+    /// trace) — retained-after-commit/squash entries are re-renameable but
+    /// not reusable.
+    pub regs_held: bool,
+}
+
+/// A circular active list with retained entries.
+#[derive(Debug, Clone)]
+pub struct ActiveList {
+    slots: Vec<Option<AlEntry>>,
+    capacity: usize,
+    /// Sequence of the oldest live (uncommitted) entry.
+    head_seq: u64,
+    /// Sequence the next insertion will get.
+    next_seq: u64,
+}
+
+impl ActiveList {
+    /// Creates an empty list of `capacity` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> ActiveList {
+        assert!(capacity > 0, "active list capacity must be positive");
+        ActiveList { slots: vec![None; capacity], capacity, head_seq: 0, next_seq: 0 }
+    }
+
+    /// Number of live (uncommitted, unsquashed) entries.
+    pub fn live(&self) -> usize {
+        (self.next_seq - self.head_seq) as usize
+    }
+
+    /// Whether a new entry can be inserted.
+    pub fn has_space(&self) -> bool {
+        self.live() < self.capacity
+    }
+
+    /// Total entries ever inserted (the alternate-path policies cap this).
+    pub fn total_inserted(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Sequence number of the next insertion.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Sequence number of the oldest live entry (== `next_seq` when empty).
+    pub fn head_seq(&self) -> u64 {
+        self.head_seq
+    }
+
+    /// Whether `seq` denotes a live (uncommitted, unsquashed) entry.
+    pub fn is_live(&self, seq: u64) -> bool {
+        seq >= self.head_seq && seq < self.next_seq
+    }
+
+    /// Inserts an entry, overwriting any retained entry in its slot.
+    ///
+    /// Returns the assigned sequence number.
+    ///
+    /// # Panics
+    ///
+    /// Panics when full — callers must check [`ActiveList::has_space`]
+    /// (rename stalls instead).
+    pub fn insert(&mut self, mut entry: AlEntry) -> u64 {
+        assert!(self.has_space(), "active list overflow");
+        let seq = self.next_seq;
+        entry.seq = seq;
+        let slot = (seq % self.capacity as u64) as usize;
+        self.slots[slot] = Some(entry);
+        self.next_seq += 1;
+        seq
+    }
+
+    /// The entry at `seq` — live, retired, or squash-retained — if its
+    /// slot still holds it (pure sequence match; use [`ActiveList::is_live`]
+    /// to distinguish in-flight entries).
+    pub fn at_seq(&self, seq: u64) -> Option<&AlEntry> {
+        let slot = (seq % self.capacity as u64) as usize;
+        self.slots[slot].as_ref().filter(|e| e.seq == seq)
+    }
+
+    /// Mutable access to the entry at `seq` (live or retained).
+    pub fn at_seq_mut(&mut self, seq: u64) -> Option<&mut AlEntry> {
+        let slot = (seq % self.capacity as u64) as usize;
+        self.slots[slot].as_mut().filter(|e| e.seq == seq)
+    }
+
+    /// The oldest live entry, if any.
+    pub fn front(&self) -> Option<&AlEntry> {
+        if self.live() == 0 {
+            None
+        } else {
+            self.at_seq(self.head_seq)
+        }
+    }
+
+    /// Commits (retires) the oldest live entry, leaving it retained in its
+    /// slot. Returns its sequence number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list is empty.
+    pub fn commit_front(&mut self) -> u64 {
+        assert!(self.live() > 0, "commit on empty active list");
+        let seq = self.head_seq;
+        self.head_seq += 1;
+        seq
+    }
+
+    /// Squashes all live entries with sequence >= `from_seq`, returning
+    /// their sequence numbers youngest-first (the order recovery must
+    /// process them in). The entries remain retained in their slots.
+    pub fn squash_from(&mut self, from_seq: u64) -> Vec<u64> {
+        let from = from_seq.max(self.head_seq);
+        let squashed: Vec<u64> = (from..self.next_seq).rev().collect();
+        self.next_seq = from;
+        self.head_seq = self.head_seq.min(from);
+        squashed
+    }
+
+    /// Iterates live entries oldest-first.
+    pub fn live_entries(&self) -> impl Iterator<Item = &AlEntry> + '_ {
+        (self.head_seq..self.next_seq).filter_map(move |s| self.at_seq(s))
+    }
+
+    /// Clears everything, including retained entries (context reset for a
+    /// fresh program or respawn drain).
+    pub fn clear(&mut self) {
+        self.slots.fill(None);
+        self.head_seq = 0;
+        self.next_seq = 0;
+    }
+
+    /// Capacity in slots.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// A minimal entry for tests and internal construction.
+#[cfg(test)]
+pub(crate) fn test_entry(pc: u64, tag: u64) -> AlEntry {
+    AlEntry {
+        seq: 0,
+        tag: InstTag(tag),
+        pc,
+        inst: Inst::nop(),
+        dest: None,
+        new_preg: None,
+        old_preg: None,
+        srcs: [None; 2],
+        state: EntryState::Pending,
+        executed: false,
+        recycled: false,
+        reused: false,
+        fetched_only: false,
+        branch: None,
+        mem: None,
+        taken_path: None,
+        regs_held: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_commit_cycle() {
+        let mut al = ActiveList::new(4);
+        for i in 0..3 {
+            al.insert(test_entry(0x1000 + i * 4, i));
+        }
+        assert_eq!(al.live(), 3);
+        assert_eq!(al.front().unwrap().pc, 0x1000);
+        let seq = al.commit_front();
+        assert_eq!(seq, 0);
+        assert_eq!(al.live(), 2);
+        // Retained entry still readable.
+        assert_eq!(al.at_seq(0).unwrap().pc, 0x1000);
+    }
+
+    #[test]
+    fn overwrite_invalidates_retained() {
+        let mut al = ActiveList::new(2);
+        al.insert(test_entry(0xa, 0));
+        al.insert(test_entry(0xb, 1));
+        al.commit_front();
+        al.commit_front();
+        // Slots hold retained 0xa, 0xb. Insert two more: overwrite both.
+        al.insert(test_entry(0xc, 2));
+        assert!(al.at_seq(0).is_none(), "slot 0 overwritten by seq 2");
+        assert_eq!(al.at_seq(2).unwrap().pc, 0xc);
+        assert_eq!(al.at_seq(1).unwrap().pc, 0xb, "slot 1 still retained");
+    }
+
+    #[test]
+    fn squash_retains_entries_and_rolls_back() {
+        let mut al = ActiveList::new(8);
+        for i in 0..5 {
+            al.insert(test_entry(0x100 + i * 4, i));
+        }
+        let squashed = al.squash_from(2);
+        assert_eq!(squashed, vec![4, 3, 2], "youngest first");
+        assert_eq!(al.live(), 2);
+        assert_eq!(al.next_seq(), 2);
+        // Squashed entries retained for recycling.
+        assert_eq!(al.at_seq(3).unwrap().pc, 0x10c);
+        // New insertions take over the sequence space.
+        let seq = al.insert(test_entry(0x999, 9));
+        assert_eq!(seq, 2);
+        assert_eq!(al.at_seq(2).unwrap().pc, 0x999);
+    }
+
+    #[test]
+    fn full_list_has_no_space() {
+        let mut al = ActiveList::new(2);
+        al.insert(test_entry(0, 0));
+        al.insert(test_entry(4, 1));
+        assert!(!al.has_space());
+        al.commit_front();
+        assert!(al.has_space(), "commit frees a slot");
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn insert_when_full_panics() {
+        let mut al = ActiveList::new(1);
+        al.insert(test_entry(0, 0));
+        al.insert(test_entry(4, 1));
+    }
+
+    #[test]
+    fn live_entries_iterates_in_order() {
+        let mut al = ActiveList::new(4);
+        for i in 0..3 {
+            al.insert(test_entry(i * 4, i));
+        }
+        al.commit_front();
+        let pcs: Vec<u64> = al.live_entries().map(|e| e.pc).collect();
+        assert_eq!(pcs, vec![4, 8]);
+    }
+
+    #[test]
+    fn clear_resets_sequences() {
+        let mut al = ActiveList::new(2);
+        al.insert(test_entry(0, 0));
+        al.clear();
+        assert_eq!(al.live(), 0);
+        assert_eq!(al.next_seq(), 0);
+        assert!(al.at_seq(0).is_none());
+    }
+
+    #[test]
+    fn stream_validity_across_wrap() {
+        // A recycle stream reading seq k..k+n is valid while slots match.
+        let mut al = ActiveList::new(4);
+        for i in 0..4 {
+            al.insert(test_entry(i * 4, i));
+            al.commit_front();
+        }
+        // All four retained. Read stream from seq 1.
+        assert!(al.at_seq(1).is_some());
+        // Insert one more (seq 4, overwrites slot 0 = seq 0).
+        al.insert(test_entry(0x40, 4));
+        assert!(al.at_seq(0).is_none());
+        assert!(al.at_seq(1).is_some(), "rest of stream unaffected");
+    }
+}

@@ -1,0 +1,229 @@
+//! A simple in-order functional reference emulator.
+//!
+//! Executes a [`Program`] one instruction at a time with purely
+//! architectural state. It shares the pipeline's functional semantics
+//! ([`crate::exec`]), so it defines *what the processor must compute*;
+//! the simulator's committed instruction stream is validated against it in
+//! tests (any divergence is a speculation-recovery bug, not a program
+//! property).
+//!
+//! # Examples
+//!
+//! ```
+//! use multipath_core::emulator::Emulator;
+//! use multipath_workload::{kernels, Benchmark};
+//!
+//! let mut emu = Emulator::new(&kernels::build(Benchmark::Compress, 1));
+//! for _ in 0..1000 {
+//!     emu.step();
+//! }
+//! assert_eq!(emu.retired(), 1000);
+//! ```
+
+use crate::exec;
+use multipath_isa::{Inst, Opcode, OperandClass, Reg, INST_BYTES};
+use multipath_mem::Memory;
+use multipath_workload::Program;
+
+/// One architecturally executed instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Retired {
+    /// The instruction's address.
+    pub pc: u64,
+    /// The value written to the destination register, if any.
+    pub value: Option<u64>,
+    /// Whether this was `halt`.
+    pub halted: bool,
+}
+
+/// The reference emulator.
+#[derive(Debug, Clone)]
+pub struct Emulator {
+    int: [u64; 32],
+    fp: [u64; 32],
+    pc: u64,
+    memory: Memory,
+    retired: u64,
+    halted: bool,
+}
+
+impl Emulator {
+    /// Loads `program` into a fresh address space, ready to run.
+    pub fn new(program: &Program) -> Emulator {
+        let mut memory = Memory::new();
+        program.load_into(&mut memory);
+        let mut int = [0u64; 32];
+        int[30] = program.initial_sp;
+        Emulator { int, fp: [0; 32], pc: program.entry, memory, retired: 0, halted: false }
+    }
+
+    fn read(&self, reg: Option<Reg>) -> u64 {
+        match reg {
+            Some(Reg::Int(r)) => self.int[r.number() as usize],
+            Some(Reg::Fp(r)) => self.fp[r.number() as usize],
+            None => 0,
+        }
+    }
+
+    fn write(&mut self, reg: Reg, value: u64) {
+        match reg {
+            Reg::Int(r) if !r.is_zero() => self.int[r.number() as usize] = value,
+            Reg::Fp(r) if !r.is_zero() => self.fp[r.number() as usize] = value,
+            _ => {}
+        }
+    }
+
+    /// Executes one instruction; returns what retired. After `halt`,
+    /// further steps return the halt again without advancing.
+    pub fn step(&mut self) -> Retired {
+        let pc = self.pc;
+        if self.halted {
+            return Retired { pc, value: None, halted: true };
+        }
+        let word = self.memory.read_u32(pc);
+        let inst = Inst::decode(word).unwrap_or_else(Inst::halt);
+        let op = inst.op;
+        let a = self.read(inst.src1);
+        let b = self.read(inst.src2);
+        let mut value = None;
+        let mut next = pc + INST_BYTES;
+        match op.operand_class() {
+            OperandClass::CondBr => {
+                if exec::branch_taken(&inst, a) {
+                    next = inst.direct_target(pc);
+                }
+            }
+            OperandClass::Br => {
+                next = inst.direct_target(pc);
+                if op == Opcode::Jsr {
+                    value = Some(pc + INST_BYTES);
+                }
+            }
+            OperandClass::Jump => next = a,
+            _ if op.is_load() => {
+                let addr = exec::effective_address(&inst, a);
+                let v = match op.mem_width().expect("load width").bytes() {
+                    1 => self.memory.read_u8(addr) as u64,
+                    4 => self.memory.read_u32(addr) as u64,
+                    _ => self.memory.read_u64(addr),
+                };
+                value = Some(v);
+            }
+            _ if op.is_store() => {
+                let addr = exec::effective_address(&inst, a);
+                match op.mem_width().expect("store width").bytes() {
+                    1 => self.memory.write_u8(addr, b as u8),
+                    4 => self.memory.write_u32(addr, b as u32),
+                    _ => self.memory.write_u64(addr, b),
+                }
+            }
+            OperandClass::None => {
+                if op == Opcode::Halt {
+                    self.halted = true;
+                    self.retired += 1;
+                    return Retired { pc, value: None, halted: true };
+                }
+            }
+            _ => value = Some(exec::alu_result(&inst, a, b, pc)),
+        }
+        if let (Some(d), Some(v)) = (inst.dest, value) {
+            self.write(d, v);
+        }
+        self.pc = next;
+        self.retired += 1;
+        Retired { pc, value: inst.dest.and(value), halted: false }
+    }
+
+    /// Instructions retired so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Whether `halt` has executed.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// The current program counter.
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// Architectural read of an integer register.
+    pub fn int_reg(&self, n: usize) -> u64 {
+        self.int[n]
+    }
+
+    /// The emulator's memory (for end-state comparison).
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multipath_isa::regs::*;
+    use multipath_workload::Assembler;
+
+    fn program(asm: &Assembler) -> Program {
+        Program {
+            name: "t".to_owned(),
+            text_base: 0x1000,
+            text: asm.assemble(0x1000).unwrap(),
+            data: Vec::new(),
+            entry: 0x1000,
+            initial_sp: 0x7_0000,
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_branching() {
+        let mut a = Assembler::new();
+        a.li(R1, 10);
+        a.li(R2, 0);
+        a.label("loop");
+        a.add(R2, R2, R1);
+        a.subi(R1, R1, 1);
+        a.bne(R1, "loop");
+        a.halt();
+        let mut emu = Emulator::new(&program(&a));
+        while !emu.halted() {
+            emu.step();
+        }
+        assert_eq!(emu.int_reg(2), 10 + 9 + 8 + 7 + 6 + 5 + 4 + 3 + 2 + 1);
+    }
+
+    #[test]
+    fn memory_and_calls() {
+        let mut a = Assembler::new();
+        a.li(R30, 0x7_0000);
+        a.li(R1, 0x2000);
+        a.li(R2, 42);
+        a.stq(R2, 0, R1);
+        a.jsr("double");
+        a.ldq(R3, 0, R1);
+        a.halt();
+        a.label("double");
+        a.ldq(R4, 0, R1);
+        a.add(R4, R4, R4);
+        a.stq(R4, 0, R1);
+        a.ret();
+        let mut emu = Emulator::new(&program(&a));
+        while !emu.halted() {
+            emu.step();
+        }
+        assert_eq!(emu.int_reg(3), 84);
+    }
+
+    #[test]
+    fn halt_is_sticky() {
+        let mut a = Assembler::new();
+        a.halt();
+        let mut emu = Emulator::new(&program(&a));
+        assert!(emu.step().halted);
+        let r = emu.step();
+        assert!(r.halted);
+        assert_eq!(emu.retired(), 1);
+    }
+}

@@ -1,0 +1,210 @@
+//! Functional semantics of the ISA.
+//!
+//! The timing simulator *is* the functional simulator: operand values flow
+//! through physical registers, and these pure functions compute results at
+//! issue time. Keeping them free of pipeline state makes the semantics
+//! unit-testable in isolation.
+
+use multipath_isa::{Inst, Opcode};
+
+fn sext(imm: i32) -> u64 {
+    imm as i64 as u64
+}
+
+fn f(bits: u64) -> f64 {
+    f64::from_bits(bits)
+}
+
+fn b(value: f64) -> u64 {
+    value.to_bits()
+}
+
+/// Computes the result of a non-memory, non-control instruction.
+///
+/// `a` and `b` are the values of `src1` and `src2` (zero when absent);
+/// `pc` is the instruction's own address (calls produce `pc + 4`).
+///
+/// # Panics
+///
+/// Panics on memory or conditional-control opcodes — those are handled by
+/// the load/store path and [`branch_taken`].
+pub fn alu_result(inst: &Inst, a: u64, bb: u64, pc: u64) -> u64 {
+    let imm = sext(inst.imm);
+    match inst.op {
+        Opcode::Add => a.wrapping_add(bb),
+        Opcode::Sub => a.wrapping_sub(bb),
+        Opcode::Mul => a.wrapping_mul(bb),
+        Opcode::And => a & bb,
+        Opcode::Or => a | bb,
+        Opcode::Xor => a ^ bb,
+        Opcode::Sll => a << (bb & 63),
+        Opcode::Srl => a >> (bb & 63),
+        Opcode::Sra => ((a as i64) >> (bb & 63)) as u64,
+        Opcode::Cmpeq => (a == bb) as u64,
+        Opcode::Cmplt => ((a as i64) < (bb as i64)) as u64,
+        Opcode::Cmple => ((a as i64) <= (bb as i64)) as u64,
+        Opcode::Cmpult => (a < bb) as u64,
+        Opcode::Addi | Opcode::Lda => a.wrapping_add(imm),
+        Opcode::Subi => a.wrapping_sub(imm),
+        Opcode::Muli => a.wrapping_mul(imm),
+        Opcode::Andi => a & imm,
+        Opcode::Ori => a | imm,
+        Opcode::Xori => a ^ imm,
+        Opcode::Slli => a << (imm & 63),
+        Opcode::Srli => a >> (imm & 63),
+        Opcode::Srai => ((a as i64) >> (imm & 63)) as u64,
+        Opcode::Cmpeqi => (a == imm) as u64,
+        Opcode::Cmplti => ((a as i64) < (imm as i64)) as u64,
+        Opcode::Cmplei => ((a as i64) <= (imm as i64)) as u64,
+        Opcode::Cmpulti => (a < imm) as u64,
+        Opcode::Ldih => a.wrapping_add(sext(inst.imm) << 16),
+        Opcode::Jsr => pc.wrapping_add(multipath_isa::INST_BYTES),
+        Opcode::Addt => b(f(a) + f(bb)),
+        Opcode::Subt => b(f(a) - f(bb)),
+        Opcode::Mult => b(f(a) * f(bb)),
+        Opcode::Divt => b(f(a) / f(bb)),
+        Opcode::Cmptlt => (f(a) < f(bb)) as u64,
+        Opcode::Cmpteq => (f(a) == f(bb)) as u64,
+        Opcode::Cmptle => (f(a) <= f(bb)) as u64,
+        Opcode::Cvtqt => b(a as i64 as f64),
+        Opcode::Cvttq => (f(a) as i64) as u64,
+        Opcode::Nop | Opcode::Halt => 0,
+        other => panic!("alu_result on non-ALU opcode {other}"),
+    }
+}
+
+/// Whether the conditional branch is taken given its source value.
+///
+/// # Panics
+///
+/// Panics on non-conditional-branch opcodes.
+pub fn branch_taken(inst: &Inst, a: u64) -> bool {
+    let s = a as i64;
+    match inst.op {
+        Opcode::Beq => a == 0,
+        Opcode::Bne => a != 0,
+        Opcode::Blt => s < 0,
+        Opcode::Ble => s <= 0,
+        Opcode::Bgt => s > 0,
+        Opcode::Bge => s >= 0,
+        other => panic!("branch_taken on non-branch opcode {other}"),
+    }
+}
+
+/// The effective address of a memory operation given the base value.
+pub fn effective_address(inst: &Inst, base: u64) -> u64 {
+    base.wrapping_add(sext(inst.imm))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multipath_isa::{FpReg, IntReg};
+
+    fn rrr(op: Opcode) -> Inst {
+        Inst::rrr(op, IntReg::R1, IntReg::R2, IntReg::R3)
+    }
+
+    fn rri(op: Opcode, imm: i16) -> Inst {
+        Inst::rri(op, IntReg::R1, IntReg::R2, imm)
+    }
+
+    #[test]
+    fn integer_arithmetic() {
+        assert_eq!(alu_result(&rrr(Opcode::Add), 3, 4, 0), 7);
+        assert_eq!(alu_result(&rrr(Opcode::Sub), 3, 4, 0), u64::MAX);
+        assert_eq!(alu_result(&rrr(Opcode::Mul), 1 << 40, 1 << 30, 0), 0, "wraps");
+        assert_eq!(alu_result(&rrr(Opcode::Mul), 1 << 40, (1 << 24) | 3, 0), 3 << 40, "wraps");
+        assert_eq!(alu_result(&rri(Opcode::Addi, -1), 5, 0, 0), 4);
+        assert_eq!(alu_result(&rri(Opcode::Muli, 31), 2, 0, 0), 62);
+    }
+
+    #[test]
+    fn logic_and_shifts() {
+        assert_eq!(alu_result(&rrr(Opcode::And), 0b1100, 0b1010, 0), 0b1000);
+        assert_eq!(alu_result(&rrr(Opcode::Or), 0b1100, 0b1010, 0), 0b1110);
+        assert_eq!(alu_result(&rrr(Opcode::Xor), 0b1100, 0b1010, 0), 0b0110);
+        assert_eq!(alu_result(&rri(Opcode::Slli, 4), 1, 0, 0), 16);
+        assert_eq!(alu_result(&rri(Opcode::Srli, 1), u64::MAX, 0, 0), u64::MAX >> 1);
+        assert_eq!(alu_result(&rri(Opcode::Srai, 1), u64::MAX, 0, 0), u64::MAX, "arithmetic");
+        // Shift amounts wrap at 64.
+        assert_eq!(alu_result(&rrr(Opcode::Sll), 1, 65, 0), 2);
+    }
+
+    #[test]
+    fn comparisons_signed_and_unsigned() {
+        let minus_one = u64::MAX;
+        assert_eq!(alu_result(&rrr(Opcode::Cmplt), minus_one, 0, 0), 1, "signed");
+        assert_eq!(alu_result(&rrr(Opcode::Cmpult), minus_one, 0, 0), 0, "unsigned");
+        assert_eq!(alu_result(&rrr(Opcode::Cmpeq), 5, 5, 0), 1);
+        assert_eq!(alu_result(&rri(Opcode::Cmplti, 0), minus_one, 0, 0), 1);
+        assert_eq!(alu_result(&rri(Opcode::Cmpulti, -1), 5, 0, 0), 1, "imm sign-extends");
+    }
+
+    #[test]
+    fn constant_construction() {
+        // ldih r, zero, 0x10 ; lda r, r, 0 → 0x100000
+        let hi = alu_result(&rri(Opcode::Ldih, 0x10), 0, 0, 0);
+        assert_eq!(hi, 0x10_0000);
+        let lo = alu_result(&rri(Opcode::Lda, -4), hi, 0, 0);
+        assert_eq!(lo, 0xf_fffc);
+    }
+
+    #[test]
+    fn call_links_next_pc() {
+        let jsr = Inst::call(10);
+        assert_eq!(alu_result(&jsr, 0, 0, 0x1000), 0x1004);
+    }
+
+    #[test]
+    fn fp_arithmetic_round_trips_through_bits() {
+        let two = 2.0f64.to_bits();
+        let three = 3.0f64.to_bits();
+        let i = Inst::fp(Opcode::Mult, FpReg::F1, FpReg::F2, FpReg::F3);
+        assert_eq!(f64::from_bits(alu_result(&i, two, three, 0)), 6.0);
+        let d = Inst::fp(Opcode::Divt, FpReg::F1, FpReg::F2, FpReg::F3);
+        assert_eq!(f64::from_bits(alu_result(&d, three, two, 0)), 1.5);
+    }
+
+    #[test]
+    fn fp_compare_writes_integer() {
+        let i = Inst::fp_cmp(Opcode::Cmptlt, IntReg::R1, FpReg::F2, FpReg::F3);
+        assert_eq!(alu_result(&i, 1.0f64.to_bits(), 2.0f64.to_bits(), 0), 1);
+        assert_eq!(alu_result(&i, 2.0f64.to_bits(), 1.0f64.to_bits(), 0), 0);
+    }
+
+    #[test]
+    fn conversions() {
+        let c = Inst::cvtqt(FpReg::F1, IntReg::R2);
+        assert_eq!(f64::from_bits(alu_result(&c, (-3i64) as u64, 0, 0)), -3.0);
+        let t = Inst::cvttq(IntReg::R1, FpReg::F2);
+        assert_eq!(alu_result(&t, (-2.7f64).to_bits(), 0, 0) as i64, -2);
+    }
+
+    #[test]
+    fn branch_conditions() {
+        let mk = |op| Inst::cond_branch(op, IntReg::R1, 0);
+        assert!(branch_taken(&mk(Opcode::Beq), 0));
+        assert!(!branch_taken(&mk(Opcode::Beq), 1));
+        assert!(branch_taken(&mk(Opcode::Bne), 5));
+        assert!(branch_taken(&mk(Opcode::Blt), (-1i64) as u64));
+        assert!(!branch_taken(&mk(Opcode::Blt), 0));
+        assert!(branch_taken(&mk(Opcode::Ble), 0));
+        assert!(branch_taken(&mk(Opcode::Bgt), 1));
+        assert!(branch_taken(&mk(Opcode::Bge), 0));
+        assert!(!branch_taken(&mk(Opcode::Bge), (-1i64) as u64));
+    }
+
+    #[test]
+    fn effective_addresses() {
+        let ld = Inst::load(Opcode::Ldq, IntReg::R1, -8, IntReg::R2);
+        assert_eq!(effective_address(&ld, 0x100), 0xf8);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-ALU")]
+    fn memory_op_rejected() {
+        let ld = Inst::load(Opcode::Ldq, IntReg::R1, 0, IntReg::R2);
+        alu_result(&ld, 0, 0, 0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Identifier newtypes used throughout the pipeline.
+
+use std::fmt;
+
+/// A hardware context (thread slot), `0..contexts`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CtxId(pub u8);
+
+impl CtxId {
+    /// The context number as an index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CtxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ctx{}", self.0)
+    }
+}
+
+/// A simulated program (one address space / one `Asid`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProgId(pub u16);
+
+impl ProgId {
+    /// The program number as an index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "prog{}", self.0)
+    }
+}
+
+/// A globally unique, monotonically increasing dynamic-instruction tag.
+///
+/// Tags order instructions across contexts of the same program (fork points
+/// compare tags, store-to-load visibility compares tags), so they must come
+/// from a single counter in the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InstTag(pub u64);
+
+impl fmt::Display for InstTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+/// A physical register: which file plus an index within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhysReg {
+    /// `true` for the floating-point file.
+    pub fp: bool,
+    /// Index within the file.
+    pub index: u16,
+}
+
+impl fmt::Display for PhysReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", if self.fp { "pf" } else { "pr" }, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(CtxId(3).to_string(), "ctx3");
+        assert_eq!(ProgId(1).to_string(), "prog1");
+        assert_eq!(InstTag(42).to_string(), "i42");
+        assert_eq!(PhysReg { fp: false, index: 7 }.to_string(), "pr7");
+        assert_eq!(PhysReg { fp: true, index: 7 }.to_string(), "pf7");
+    }
+
+    #[test]
+    fn tags_order() {
+        assert!(InstTag(1) < InstTag(2));
+    }
+}

@@ -1,0 +1,230 @@
+//! Speculative store queues and store-to-load visibility.
+//!
+//! Stores never write functional memory until they commit; until then they
+//! live in their context's store queue. A load must see, in order:
+//!
+//! 1. stores from its *own* context that are older than it;
+//! 2. stores from its ancestor contexts (the thread it was forked from,
+//!    transitively) that are older than the fork point;
+//! 3. committed memory.
+//!
+//! Rather than forwarding only on exact address matches, loads materialise
+//! their value byte-by-byte: start from committed memory and overlay every
+//! visible store's bytes in age order. This is exact for arbitrary
+//! overlap, which matters because wrong-path code computes wild addresses.
+
+use crate::ids::{CtxId, InstTag};
+use multipath_mem::Memory;
+
+/// One buffered speculative store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreEntry {
+    /// Global age tag of the store.
+    pub tag: InstTag,
+    /// Effective address.
+    pub addr: u64,
+    /// Access width in bytes (1, 4, or 8).
+    pub width: u8,
+    /// The data (low `width` bytes significant).
+    pub value: u64,
+}
+
+/// A per-context store queue, ordered by age.
+#[derive(Debug, Clone, Default)]
+pub struct StoreQueue {
+    entries: Vec<StoreEntry>,
+}
+
+impl StoreQueue {
+    /// Creates an empty queue.
+    pub fn new() -> StoreQueue {
+        StoreQueue::default()
+    }
+
+    /// Inserts an executed store (entries arrive in tag order per context;
+    /// out-of-order execution is handled by sorting on insert).
+    pub fn insert(&mut self, entry: StoreEntry) {
+        let pos = self.entries.partition_point(|e| e.tag < entry.tag);
+        self.entries.insert(pos, entry);
+    }
+
+    /// Removes and returns the entry with `tag` (at commit or squash).
+    pub fn remove(&mut self, tag: InstTag) -> Option<StoreEntry> {
+        let pos = self.entries.iter().position(|e| e.tag == tag)?;
+        Some(self.entries.remove(pos))
+    }
+
+    /// Drops all entries younger than or equal to `from` (squash).
+    pub fn squash_from(&mut self, from: InstTag) {
+        self.entries.retain(|e| e.tag < from);
+    }
+
+    /// Entries older than `before`, oldest first.
+    pub fn older_than(&self, before: InstTag) -> impl Iterator<Item = &StoreEntry> + '_ {
+        self.entries.iter().take_while(move |e| e.tag < before)
+    }
+
+    /// Number of buffered stores.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Clears the queue (context reset).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// A link in the fork ancestry: reads from this context may also see the
+/// parent's stores older than the fork tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForkLink {
+    /// The parent context.
+    pub parent: CtxId,
+    /// Only parent stores strictly older than this tag are visible.
+    pub fork_tag: InstTag,
+}
+
+/// Materialises the value a load sees.
+///
+/// `chain` is the visibility chain starting with the loading context
+/// itself: `(ctx_queue, age_bound)` pairs, own context first (bounded by
+/// the load's tag), then each ancestor bounded by its fork tag.
+pub fn load_value(
+    memory: &Memory,
+    chain: &[(&StoreQueue, InstTag)],
+    addr: u64,
+    width: u8,
+) -> u64 {
+    debug_assert!(matches!(width, 1 | 4 | 8));
+    let mut bytes = [0u8; 8];
+    let w = width as usize;
+    memory.read_bytes(addr, &mut bytes[..w]);
+    // Overlay visible stores oldest-first so younger stores win; walk the
+    // chain from the most distant ancestor to self (ancestors are older).
+    for &(queue, bound) in chain.iter().rev() {
+        for store in queue.older_than(bound) {
+            overlay(&mut bytes[..w], addr, store);
+        }
+    }
+    u64::from_le_bytes(bytes)
+}
+
+fn overlay(bytes: &mut [u8], load_addr: u64, store: &StoreEntry) {
+    let data = store.value.to_le_bytes();
+    for i in 0..store.width as u64 {
+        // Addresses wrap, matching `Memory::write_bytes`: wrong-path code
+        // computes wild addresses, and a store whose range crosses
+        // u64::MAX aliases the bottom of the address space — speculative
+        // forwarding must see the same bytes the store will commit.
+        let byte_addr = store.addr.wrapping_add(i);
+        let offset = byte_addr.wrapping_sub(load_addr);
+        if offset < bytes.len() as u64 {
+            bytes[offset as usize] = data[i as usize];
+        }
+    }
+}
+
+/// Whether two byte ranges may overlap. Addresses wrap (matching
+/// `Memory`), so a range crossing u64::MAX is conservatively treated as
+/// overlapping everything — the callers use this to *block* a load or
+/// *invalidate* a reuse entry, where over-approximation is always safe.
+pub(crate) fn ranges_overlap(a_start: u64, a_len: u64, b_start: u64, b_len: u64) -> bool {
+    match (a_start.checked_add(a_len), b_start.checked_add(b_len)) {
+        (Some(a_end), Some(b_end)) => a_start < b_end && b_start < a_end,
+        _ => true, // wrapping range: may alias anything
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn st(tag: u64, addr: u64, width: u8, value: u64) -> StoreEntry {
+        StoreEntry { tag: InstTag(tag), addr, width, value }
+    }
+
+    #[test]
+    fn forwarding_from_own_queue() {
+        let mem = Memory::new();
+        let mut sq = StoreQueue::new();
+        sq.insert(st(5, 0x100, 8, 0xdead));
+        // A load with tag 10 sees the store; tag 3 does not.
+        assert_eq!(load_value(&mem, &[(&sq, InstTag(10))], 0x100, 8), 0xdead);
+        assert_eq!(load_value(&mem, &[(&sq, InstTag(3))], 0x100, 8), 0);
+    }
+
+    #[test]
+    fn younger_store_wins() {
+        let mem = Memory::new();
+        let mut sq = StoreQueue::new();
+        sq.insert(st(1, 0x100, 8, 1));
+        sq.insert(st(2, 0x100, 8, 2));
+        assert_eq!(load_value(&mem, &[(&sq, InstTag(9))], 0x100, 8), 2);
+    }
+
+    #[test]
+    fn partial_overlap_merges_bytes() {
+        let mut mem = Memory::new();
+        mem.write_u64(0x100, 0x1111_1111_1111_1111);
+        let mut sq = StoreQueue::new();
+        sq.insert(st(1, 0x102, 1, 0xff)); // one byte inside the quad
+        let v = load_value(&mem, &[(&sq, InstTag(2))], 0x100, 8);
+        assert_eq!(v, 0x1111_1111_11ff_1111);
+    }
+
+    #[test]
+    fn ancestor_stores_bounded_by_fork_tag() {
+        let mem = Memory::new();
+        let mut parent = StoreQueue::new();
+        parent.insert(st(10, 0x200, 8, 7)); // before fork
+        parent.insert(st(30, 0x200, 8, 9)); // after fork — invisible
+        let child = StoreQueue::new();
+        let chain = [(&child, InstTag(100)), (&parent, InstTag(20))];
+        assert_eq!(load_value(&mem, &chain, 0x200, 8), 7);
+    }
+
+    #[test]
+    fn own_store_shadows_ancestor() {
+        let mem = Memory::new();
+        let mut parent = StoreQueue::new();
+        parent.insert(st(10, 0x200, 8, 7));
+        let mut child = StoreQueue::new();
+        child.insert(st(40, 0x200, 8, 8));
+        let chain = [(&child, InstTag(100)), (&parent, InstTag(20))];
+        assert_eq!(load_value(&mem, &chain, 0x200, 8), 8);
+    }
+
+    #[test]
+    fn out_of_order_insert_keeps_age_order() {
+        let mut sq = StoreQueue::new();
+        sq.insert(st(5, 0, 8, 5));
+        sq.insert(st(2, 0, 8, 2));
+        let tags: Vec<u64> = sq.older_than(InstTag(10)).map(|e| e.tag.0).collect();
+        assert_eq!(tags, vec![2, 5]);
+    }
+
+    #[test]
+    fn squash_drops_young_entries() {
+        let mut sq = StoreQueue::new();
+        sq.insert(st(1, 0, 8, 0));
+        sq.insert(st(5, 0, 8, 0));
+        sq.squash_from(InstTag(5));
+        assert_eq!(sq.len(), 1);
+        assert!(sq.remove(InstTag(1)).is_some());
+    }
+
+    #[test]
+    fn remove_by_tag() {
+        let mut sq = StoreQueue::new();
+        sq.insert(st(3, 0x10, 4, 42));
+        assert_eq!(sq.remove(InstTag(3)).unwrap().value, 42);
+        assert!(sq.remove(InstTag(3)).is_none());
+        assert!(sq.is_empty());
+    }
+}

@@ -1,0 +1,239 @@
+//! The shared physical register file with reference counting.
+//!
+//! An SMT/TME processor has one physical file per kind (integer, FP)
+//! shared by all contexts (paper Section 2). Recycling adds the
+//! complication of Section 3.5: a *reused* instruction writes its old
+//! physical register into the new map entry, so a register can be
+//! referenced by several mappings and by recyclable active-list entries at
+//! once, and must not return to the free list while any of them stands.
+//!
+//! The paper tracks "the last reuse by the primary path"; we implement the
+//! identical constraint with per-register reference counts (see DESIGN.md).
+//! Holders of references are:
+//!
+//! * the active-list entry that allocated the register (released when the
+//!   entry is squashed, reclaimed, or its *overwriter* commits);
+//! * each reuse of the register as a new mapping (one reference per reuse);
+//! * each in-flight reader between rename and execute (so a register can
+//!   never be recycled out from under a consumer in another context).
+
+use crate::ids::PhysReg;
+
+/// One physical register file (values, readiness, refcounts, free list).
+#[derive(Debug, Clone)]
+struct Bank {
+    values: Vec<u64>,
+    ready: Vec<bool>,
+    refcount: Vec<u32>,
+    free: Vec<u16>,
+}
+
+impl Bank {
+    fn new(size: usize) -> Bank {
+        Bank {
+            values: vec![0; size],
+            ready: vec![false; size],
+            refcount: vec![0; size],
+            free: (0..size as u16).rev().collect(),
+        }
+    }
+
+    fn alloc(&mut self) -> Option<u16> {
+        let idx = self.free.pop()?;
+        debug_assert_eq!(self.refcount[idx as usize], 0);
+        self.refcount[idx as usize] = 1;
+        self.ready[idx as usize] = false;
+        self.values[idx as usize] = 0;
+        Some(idx)
+    }
+}
+
+/// The pair of physical register files.
+#[derive(Debug, Clone)]
+pub struct RegFiles {
+    int: Bank,
+    fp: Bank,
+}
+
+impl RegFiles {
+    /// Creates files with the given capacities.
+    pub fn new(phys_int: usize, phys_fp: usize) -> RegFiles {
+        RegFiles { int: Bank::new(phys_int), fp: Bank::new(phys_fp) }
+    }
+
+    fn bank(&self, fp: bool) -> &Bank {
+        if fp {
+            &self.fp
+        } else {
+            &self.int
+        }
+    }
+
+    fn bank_mut(&mut self, fp: bool) -> &mut Bank {
+        if fp {
+            &mut self.fp
+        } else {
+            &mut self.int
+        }
+    }
+
+    /// Allocates a register from the requested file with refcount 1 and
+    /// not-ready status. `None` when the file is exhausted (rename stalls).
+    pub fn alloc(&mut self, fp: bool) -> Option<PhysReg> {
+        self.bank_mut(fp).alloc().map(|index| PhysReg { fp, index })
+    }
+
+    /// Adds a reference (reuse mapping, in-flight reader).
+    pub fn add_ref(&mut self, reg: PhysReg) {
+        let rc = &mut self.bank_mut(reg.fp).refcount[reg.index as usize];
+        debug_assert!(*rc > 0, "add_ref on dead register {reg}");
+        *rc += 1;
+    }
+
+    /// Drops a reference; the register returns to the free list at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics on refcount underflow — that is a double-free in the
+    /// renaming logic and must never be masked.
+    pub fn release(&mut self, reg: PhysReg) {
+        let bank = self.bank_mut(reg.fp);
+        let rc = &mut bank.refcount[reg.index as usize];
+        assert!(*rc > 0, "refcount underflow on {reg}");
+        *rc -= 1;
+        if *rc == 0 {
+            bank.ready[reg.index as usize] = false;
+            bank.free.push(reg.index);
+        }
+    }
+
+    /// Writes a value and marks the register ready.
+    pub fn write(&mut self, reg: PhysReg, value: u64) {
+        let bank = self.bank_mut(reg.fp);
+        bank.values[reg.index as usize] = value;
+        bank.ready[reg.index as usize] = true;
+    }
+
+    /// Reads the current value (meaningful only when ready).
+    pub fn read(&self, reg: PhysReg) -> u64 {
+        self.bank(reg.fp).values[reg.index as usize]
+    }
+
+    /// Whether the producing instruction has written the register.
+    pub fn is_ready(&self, reg: PhysReg) -> bool {
+        self.bank(reg.fp).ready[reg.index as usize]
+    }
+
+    /// Marks a register ready without changing its value (used when
+    /// seeding architectural state).
+    pub fn set_ready(&mut self, reg: PhysReg) {
+        self.bank_mut(reg.fp).ready[reg.index as usize] = true;
+    }
+
+    /// Current refcount (diagnostics and invariant tests).
+    pub fn refcount(&self, reg: PhysReg) -> u32 {
+        self.bank(reg.fp).refcount[reg.index as usize]
+    }
+
+    /// Free registers remaining in the given file.
+    pub fn free_count(&self, fp: bool) -> usize {
+        self.bank(fp).free.len()
+    }
+
+    /// Capacity of the given file.
+    pub fn capacity(&self, fp: bool) -> usize {
+        self.bank(fp).values.len()
+    }
+
+    /// Invariant: every register is either on the free list (refcount 0)
+    /// or live (refcount > 0), with no overlap. Used by tests and debug
+    /// assertions in the simulator loop.
+    pub fn check_conservation(&self) {
+        for (bank, name) in [(&self.int, "int"), (&self.fp, "fp")] {
+            let free = bank.free.len();
+            let live = bank.refcount.iter().filter(|&&rc| rc > 0).count();
+            assert_eq!(
+                free + live,
+                bank.values.len(),
+                "{name} file leaked registers: {free} free + {live} live != {}",
+                bank.values.len()
+            );
+            for &idx in &bank.free {
+                assert_eq!(bank.refcount[idx as usize], 0, "{name} free list holds live register");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_release_cycle() {
+        let mut rf = RegFiles::new(4, 4);
+        let a = rf.alloc(false).unwrap();
+        assert_eq!(rf.refcount(a), 1);
+        assert!(!rf.is_ready(a));
+        rf.write(a, 42);
+        assert!(rf.is_ready(a));
+        assert_eq!(rf.read(a), 42);
+        rf.release(a);
+        assert_eq!(rf.refcount(a), 0);
+        rf.check_conservation();
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut rf = RegFiles::new(2, 2);
+        assert!(rf.alloc(false).is_some());
+        assert!(rf.alloc(false).is_some());
+        assert!(rf.alloc(false).is_none());
+        assert!(rf.alloc(true).is_some(), "files are independent");
+    }
+
+    #[test]
+    fn shared_register_survives_first_release() {
+        let mut rf = RegFiles::new(2, 2);
+        let a = rf.alloc(false).unwrap();
+        rf.write(a, 7);
+        rf.add_ref(a); // a reuse mapping
+        rf.release(a); // original holder gone
+        assert_eq!(rf.read(a), 7, "value must survive while references remain");
+        assert_eq!(rf.refcount(a), 1);
+        rf.release(a);
+        rf.check_conservation();
+    }
+
+    #[test]
+    fn freed_register_is_reallocated_clean() {
+        let mut rf = RegFiles::new(1, 1);
+        let a = rf.alloc(false).unwrap();
+        rf.write(a, 99);
+        rf.release(a);
+        let b = rf.alloc(false).unwrap();
+        assert_eq!(a.index, b.index);
+        assert!(!rf.is_ready(b), "reallocated register must not be ready");
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn double_release_panics() {
+        let mut rf = RegFiles::new(2, 2);
+        let a = rf.alloc(false).unwrap();
+        rf.release(a);
+        rf.release(a);
+    }
+
+    #[test]
+    fn conservation_detects_leaks() {
+        let mut rf = RegFiles::new(8, 8);
+        let regs: Vec<PhysReg> = (0..5).map(|_| rf.alloc(false).unwrap()).collect();
+        rf.check_conservation();
+        for r in regs {
+            rf.release(r);
+        }
+        rf.check_conservation();
+        assert_eq!(rf.free_count(false), 8);
+    }
+}

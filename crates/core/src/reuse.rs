@@ -1,0 +1,184 @@
+//! Reuse-legality tracking: the written-bit array and the Memory
+//! Disambiguation Buffer of Section 3.5.
+
+use crate::ids::CtxId;
+use multipath_isa::{Reg, NUM_LOGICAL_REGS};
+use multipath_mem::Asid;
+
+/// The written-bit array: `written[reg][ctx]` is set when logical `reg`
+/// has received a new instance (by the context's primary thread) since
+/// `ctx`'s path was started.
+///
+/// * When a new path starts on a context (TME spawn), that context's
+///   column is reset.
+/// * When a primary thread makes a new register instance, the row is set
+///   for every context in its group.
+/// * A recycled instruction may be reused only if all its source rows are
+///   clear for the source context.
+#[derive(Debug, Clone)]
+pub struct WrittenBits {
+    bits: Vec<[bool; NUM_LOGICAL_REGS]>,
+}
+
+impl WrittenBits {
+    /// Creates the array for `contexts` columns, all clear.
+    pub fn new(contexts: usize) -> WrittenBits {
+        WrittenBits { bits: vec![[false; NUM_LOGICAL_REGS]; contexts] }
+    }
+
+    /// Resets a context's column (a new path starts on it).
+    pub fn reset_column(&mut self, ctx: CtxId) {
+        self.bits[ctx.index()] = [false; NUM_LOGICAL_REGS];
+    }
+
+    /// Marks `reg` as rewritten with respect to every context in `group`.
+    pub fn set_row(&mut self, reg: Reg, group: impl Iterator<Item = CtxId>) {
+        for ctx in group {
+            self.bits[ctx.index()][reg.index()] = true;
+        }
+    }
+
+    /// Whether `reg` is unchanged since `ctx`'s path started.
+    pub fn unchanged(&self, ctx: CtxId, reg: Reg) -> bool {
+        !self.bits[ctx.index()][reg.index()]
+    }
+}
+
+/// One MDB entry: a load whose (pc, address) pair is still valid for reuse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct MdbEntry {
+    asid: Asid,
+    pc: u64,
+    addr: u64,
+}
+
+/// The Memory Disambiguation Buffer.
+///
+/// Executed loads deposit `(pc, address)`; stores to a matching address
+/// knock entries out. A recycled load may reuse its old value only if its
+/// PC is still present with the same address — i.e. no intervening store
+/// touched the data (Section 3.5).
+#[derive(Debug, Clone)]
+pub struct Mdb {
+    entries: Vec<MdbEntry>,
+    capacity: usize,
+}
+
+impl Mdb {
+    /// Creates an MDB with `capacity` entries (FIFO replacement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Mdb {
+        assert!(capacity > 0, "MDB capacity must be positive");
+        Mdb { entries: Vec::with_capacity(capacity), capacity }
+    }
+
+    /// Records an executed load.
+    pub fn record_load(&mut self, asid: Asid, pc: u64, addr: u64) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.asid == asid && e.pc == pc) {
+            e.addr = addr;
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push(MdbEntry { asid, pc, addr });
+    }
+
+    /// A store executed/committed: invalidate loads whose data it may have
+    /// changed (byte-range overlap, same address space).
+    pub fn store_invalidate(&mut self, asid: Asid, addr: u64, width: u8) {
+        // Loads are at most 8 bytes; treat each entry as an 8-byte window
+        // (conservative — may drop a reusable load, never keeps a stale
+        // one). Ranges that wrap past u64::MAX are treated as overlapping
+        // everything, which is safe in the same direction.
+        self.entries.retain(|e| {
+            e.asid != asid || !crate::lsq::ranges_overlap(addr, width as u64, e.addr, 8)
+        });
+    }
+
+    /// Whether the load at `pc` may reuse its value for `addr`.
+    pub fn reusable(&self, asid: Asid, pc: u64, addr: u64) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.asid == asid && e.pc == pc && e.addr == addr)
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the MDB is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multipath_isa::IntReg;
+
+    #[test]
+    fn written_bits_track_per_context() {
+        let mut wb = WrittenBits::new(4);
+        let r5 = Reg::Int(IntReg::R5);
+        assert!(wb.unchanged(CtxId(1), r5));
+        wb.set_row(r5, [CtxId(0), CtxId(1)].into_iter());
+        assert!(!wb.unchanged(CtxId(1), r5));
+        assert!(wb.unchanged(CtxId(2), r5), "other group untouched");
+        wb.reset_column(CtxId(1));
+        assert!(wb.unchanged(CtxId(1), r5));
+        assert!(!wb.unchanged(CtxId(0), r5), "reset is per column");
+    }
+
+    #[test]
+    fn mdb_load_then_reusable() {
+        let mut mdb = Mdb::new(4);
+        mdb.record_load(Asid(0), 0x1000, 0x200);
+        assert!(mdb.reusable(Asid(0), 0x1000, 0x200));
+        assert!(!mdb.reusable(Asid(0), 0x1000, 0x208), "address must match");
+        assert!(!mdb.reusable(Asid(1), 0x1000, 0x200), "asid must match");
+    }
+
+    #[test]
+    fn store_knocks_out_overlapping_loads() {
+        let mut mdb = Mdb::new(4);
+        mdb.record_load(Asid(0), 0x1000, 0x200);
+        mdb.record_load(Asid(0), 0x1004, 0x300);
+        mdb.store_invalidate(Asid(0), 0x204, 1); // overlaps the 0x200 window
+        assert!(!mdb.reusable(Asid(0), 0x1000, 0x200));
+        assert!(mdb.reusable(Asid(0), 0x1004, 0x300));
+    }
+
+    #[test]
+    fn store_in_other_address_space_is_ignored() {
+        let mut mdb = Mdb::new(4);
+        mdb.record_load(Asid(0), 0x1000, 0x200);
+        mdb.store_invalidate(Asid(1), 0x200, 8);
+        assert!(mdb.reusable(Asid(0), 0x1000, 0x200));
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut mdb = Mdb::new(2);
+        mdb.record_load(Asid(0), 0x1, 0x100);
+        mdb.record_load(Asid(0), 0x2, 0x200);
+        mdb.record_load(Asid(0), 0x3, 0x300);
+        assert!(!mdb.reusable(Asid(0), 0x1, 0x100), "FIFO evicted");
+        assert!(mdb.reusable(Asid(0), 0x3, 0x300));
+    }
+
+    #[test]
+    fn re_execution_updates_address() {
+        let mut mdb = Mdb::new(2);
+        mdb.record_load(Asid(0), 0x1, 0x100);
+        mdb.record_load(Asid(0), 0x1, 0x180);
+        assert!(!mdb.reusable(Asid(0), 0x1, 0x100));
+        assert!(mdb.reusable(Asid(0), 0x1, 0x180));
+        assert_eq!(mdb.len(), 1);
+    }
+}

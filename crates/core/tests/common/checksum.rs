@@ -1,0 +1,80 @@
+use multipath_isa::regs::*;
+use multipath_workload::{Assembler, DataBuilder, Program, SplitMix64};
+
+/// A branchy, memory-heavy checksum kernel with hard-to-predict hammocks,
+/// a small inner loop (to exercise backward-branch recycling), and
+/// call/return (to exercise the RAS) — then halts.
+fn checksum_program(seed: u64) -> Program {
+    let mut rng = SplitMix64::new(seed);
+    let mut data = DataBuilder::new(0x10_0000);
+    data.u64_array("input", (0..256).map(|_| rng.next_u64()));
+    data.zeros_u64("out", 64);
+    let input = data.address_of("input") as i32;
+    let out = data.address_of("out") as i32;
+
+    let mut a = Assembler::new();
+    a.li(R16, input);
+    a.li(R17, out);
+    a.li(R30, 0x7f_0000);
+    a.li(R9, 0); // checksum
+    a.li(R2, 0); // index
+    a.br("main");
+
+    // mix(r4) -> r4: a little function with an internal branch.
+    a.label("mix");
+    a.andi(R5, R4, 1);
+    a.beq(R5, "mix_even");
+    a.muli(R4, R4, 31);
+    a.ret();
+    a.label("mix_even");
+    a.srli(R4, R4, 1);
+    a.addi(R4, R4, 17);
+    a.ret();
+
+    a.label("main");
+    a.li(R3, 512); // iterations
+
+    a.label("loop");
+    a.andi(R4, R2, 255);
+    a.slli(R4, R4, 3);
+    a.add(R5, R16, R4);
+    a.ldq(R4, 0, R5);
+    // Hard hammock on a data bit.
+    a.andi(R6, R4, 4);
+    a.beq(R6, "low");
+    a.xor(R9, R9, R4);
+    a.jsr("mix");
+    a.add(R9, R9, R4);
+    a.br("join");
+    a.label("low");
+    a.add(R9, R9, R4);
+    a.slli(R7, R9, 1);
+    a.xor(R9, R9, R7);
+    a.label("join");
+    // Second biased branch: periodic spill.
+    a.andi(R6, R2, 7);
+    a.bne(R6, "no_spill");
+    a.andi(R7, R2, 63);
+    a.slli(R7, R7, 3);
+    a.add(R7, R17, R7);
+    a.stq(R9, 0, R7);
+    a.label("no_spill");
+    a.addi(R2, R2, 1);
+    a.subi(R3, R3, 1);
+    a.bne(R3, "loop");
+
+    // Final: store the checksum at out[63].
+    a.stq(R9, 63 * 8, R17);
+    a.halt();
+
+    let text = a.assemble(0x1_0000).expect("assembles");
+    Program {
+        name: "checksum".to_owned(),
+        text_base: 0x1_0000,
+        text,
+        data: vec![data.build()],
+        entry: 0x1_0000,
+        initial_sp: 0x7f_0000,
+    }
+}
+

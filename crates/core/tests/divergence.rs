@@ -1,0 +1,42 @@
+//! Lock-step architectural validation: the committed instruction stream of
+//! every configuration must exactly match the reference emulator.
+
+use multipath_core::{Features, ProgId, SimConfig, Simulator};
+use multipath_workload::{kernels, Benchmark};
+
+fn lockstep(bench: Benchmark, features: Features, commits: u64) {
+    let mut sim = Simulator::new(
+        SimConfig::big_2_16().with_features(features),
+        vec![kernels::build(bench, 1)],
+    );
+    sim.attach_reference(ProgId(0));
+    let stats = sim.run(commits, commits * 50);
+    assert!(
+        stats.committed >= commits,
+        "{bench}/{}: starved ({} committed in {} cycles)",
+        features.label(),
+        stats.committed,
+        stats.cycles
+    );
+}
+
+#[test]
+fn lockstep_all_kernels_full_architecture() {
+    for bench in Benchmark::ALL {
+        lockstep(bench, Features::rec_rs_ru(), 4_000);
+    }
+}
+
+#[test]
+fn lockstep_all_features_on_branchy_kernels() {
+    for features in Features::all_six() {
+        lockstep(Benchmark::Go, features, 4_000);
+        lockstep(Benchmark::Vortex, features, 4_000);
+    }
+}
+
+#[test]
+fn lockstep_rec_without_respawn() {
+    lockstep(Benchmark::Compress, Features::rec(), 6_000);
+    lockstep(Benchmark::Li, Features::rec_ru(), 6_000);
+}

@@ -1,0 +1,51 @@
+//! Regression tests for address-space wrap-around in store-to-load
+//! forwarding. Wrong-path code computes wild addresses, including ones
+//! near `u64::MAX` where `start + width` overflows; these used to panic
+//! in debug builds or silently skip overlap in release builds.
+
+use multipath_core::lsq::{load_value, StoreEntry, StoreQueue};
+use multipath_core::InstTag;
+use multipath_mem::Memory;
+
+fn st(tag: u64, addr: u64, width: u8, value: u64) -> StoreEntry {
+    StoreEntry { tag: InstTag(tag), addr, width, value }
+}
+
+#[test]
+fn wild_address_load_near_u64_max_does_not_panic() {
+    let mem = Memory::new();
+    let mut sq = StoreQueue::new();
+    sq.insert(st(1, u64::MAX - 1, 8, 0x1122_3344_5566_7788));
+    // A wrong-path load whose 8-byte window ends past u64::MAX. The store
+    // starts two bytes into the window and wraps with it: six of its
+    // bytes land at offsets 2..8, the rest fall outside.
+    let v = load_value(&mem, &[(&sq, InstTag(9))], u64::MAX - 3, 8);
+    assert_eq!(v, 0x3344_5566_7788_0000);
+}
+
+#[test]
+fn store_at_exact_top_of_address_space() {
+    let mem = Memory::new();
+    let mut sq = StoreQueue::new();
+    sq.insert(st(1, u64::MAX, 1, 0xab));
+    let v = load_value(&mem, &[(&sq, InstTag(9))], u64::MAX - 7, 8);
+    assert_eq!(v, 0xab00_0000_0000_0000);
+}
+
+#[test]
+fn wrapping_store_aliases_low_addresses_like_memory() {
+    // Addresses wrap per byte, matching `Memory::write_bytes`: a store
+    // whose range crosses u64::MAX writes its tail at the bottom of the
+    // address space, and speculative forwarding must see the same bytes
+    // the store would commit.
+    let mut sq = StoreQueue::new();
+    sq.insert(st(1, u64::MAX - 2, 8, u64::MAX));
+    let forwarded = load_value(&Memory::new(), &[(&sq, InstTag(9))], 0, 8);
+
+    let mut mem = Memory::new();
+    mem.write_bytes(u64::MAX - 2, &u64::MAX.to_le_bytes());
+    let committed = load_value(&mem, &[], 0, 8);
+
+    assert_eq!(forwarded, committed);
+    assert_eq!(forwarded, 0x0000_00ff_ffff_ffff);
+}

@@ -1,0 +1,16 @@
+use multipath_core::{Features, ProgId, SimConfig, Simulator};
+
+include!("common/checksum.rs");
+
+#[test]
+#[ignore]
+fn probe() {
+    let mut sim = Simulator::new(
+        SimConfig::big_2_16().with_features(Features::rec_ru()),
+        vec![checksum_program(7)],
+    );
+    sim.attach_reference(ProgId(0));
+    sim.run(u64::MAX, 400_000);
+    assert!(sim.program_finished(ProgId(0)));
+    println!("finished clean");
+}

@@ -1,0 +1,189 @@
+//! Model-based property tests for the renaming structures: the circular
+//! active list is checked against a straightforward `VecDeque` model, and
+//! the register files against a reference-counting map.
+
+use multipath_core::active_list::{ActiveList, AlEntry, EntryState};
+use multipath_core::ids::{InstTag, PhysReg};
+use multipath_core::regfile::RegFiles;
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+fn entry(pc: u64, tag: u64) -> AlEntry {
+    AlEntry {
+        seq: 0,
+        tag: InstTag(tag),
+        pc,
+        inst: multipath_isa::Inst::nop(),
+        dest: None,
+        new_preg: None,
+        old_preg: None,
+        srcs: [None; 2],
+        state: EntryState::Pending,
+        executed: false,
+        recycled: false,
+        reused: false,
+        fetched_only: false,
+        branch: None,
+        mem: None,
+        taken_path: None,
+        regs_held: true,
+    }
+}
+
+#[derive(Debug, Clone)]
+enum AlOp {
+    Insert(u64),
+    Commit,
+    SquashTail(u64),
+}
+
+fn al_ops() -> impl Strategy<Value = Vec<AlOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..0x1000).prop_map(AlOp::Insert),
+            Just(AlOp::Commit),
+            (0u64..8).prop_map(AlOp::SquashTail),
+        ],
+        1..120,
+    )
+}
+
+proptest! {
+    /// The active list's live region behaves exactly like a bounded deque,
+    /// and retained entries stay readable until their slot is reused.
+    #[test]
+    fn active_list_matches_deque_model(ops in al_ops()) {
+        const CAP: usize = 8;
+        let mut al = ActiveList::new(CAP);
+        // Model: deque of (seq, pc) for live entries.
+        let mut model: VecDeque<(u64, u64)> = VecDeque::new();
+        let mut next_tag = 0u64;
+        for op in ops {
+            match op {
+                AlOp::Insert(pc) => {
+                    if model.len() < CAP {
+                        let seq = al.insert(entry(pc, next_tag));
+                        model.push_back((seq, pc));
+                        next_tag += 1;
+                        prop_assert_eq!(al.at_seq(seq).unwrap().pc, pc);
+                    } else {
+                        prop_assert!(!al.has_space());
+                    }
+                }
+                AlOp::Commit => {
+                    if let Some((seq, pc)) = model.pop_front() {
+                        let committed = al.commit_front();
+                        prop_assert_eq!(committed, seq);
+                        // Retained after commit until overwritten.
+                        prop_assert_eq!(al.at_seq(seq).map(|e| e.pc), Some(pc));
+                    } else {
+                        prop_assert_eq!(al.live(), 0);
+                    }
+                }
+                AlOp::SquashTail(n) => {
+                    let keep = model.len().saturating_sub(n as usize);
+                    let from_seq = model
+                        .get(keep)
+                        .map(|&(s, _)| s)
+                        .unwrap_or(al.next_seq());
+                    let squashed = al.squash_from(from_seq);
+                    prop_assert_eq!(squashed.len(), model.len() - keep);
+                    model.truncate(keep);
+                }
+            }
+            // Invariants after every step.
+            prop_assert_eq!(al.live(), model.len());
+            for &(seq, pc) in &model {
+                prop_assert!(al.is_live(seq));
+                prop_assert_eq!(al.at_seq(seq).unwrap().pc, pc);
+            }
+            if let Some(&(seq, pc)) = model.front() {
+                prop_assert_eq!(al.front().map(|e| (e.seq, e.pc)), Some((seq, pc)));
+            } else {
+                prop_assert!(al.front().is_none());
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum RfOp {
+    Alloc(bool),
+    AddRef(usize),
+    Release(usize),
+    Write(usize, u64),
+}
+
+fn rf_ops() -> impl Strategy<Value = Vec<RfOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            any::<bool>().prop_map(RfOp::Alloc),
+            (0usize..16).prop_map(RfOp::AddRef),
+            (0usize..16).prop_map(RfOp::Release),
+            (0usize..16, any::<u64>()).prop_map(|(i, v)| RfOp::Write(i, v)),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    /// Reference counting conserves registers under arbitrary interleaving
+    /// of allocation, sharing, release, and writes; values survive while
+    /// any reference remains.
+    #[test]
+    fn regfiles_conserve_under_random_ops(ops in rf_ops()) {
+        let mut rf = RegFiles::new(12, 12);
+        // Live registers we hold references on: (reg, refcount, value).
+        let mut live: Vec<(PhysReg, u32, Option<u64>)> = Vec::new();
+        for op in ops {
+            match op {
+                RfOp::Alloc(fp) => {
+                    if let Some(reg) = rf.alloc(fp) {
+                        prop_assert!(!rf.is_ready(reg), "fresh registers are not ready");
+                        live.push((reg, 1, None));
+                    } else {
+                        // Exhaustion is only allowed when we truly hold
+                        // all the capacity of that file.
+                        let held: u32 =
+                            live.iter().filter(|(r, ..)| r.fp == fp).map(|(_, c, _)| *c).sum();
+                        let distinct =
+                            live.iter().filter(|(r, ..)| r.fp == fp).count();
+                        prop_assert!(distinct == 12, "spurious exhaustion ({held} refs)");
+                    }
+                }
+                RfOp::AddRef(i) => {
+                    if !live.is_empty() {
+                        let idx = i % live.len();
+                        rf.add_ref(live[idx].0);
+                        live[idx].1 += 1;
+                    }
+                }
+                RfOp::Release(i) => {
+                    if !live.is_empty() {
+                        let idx = i % live.len();
+                        rf.release(live[idx].0);
+                        live[idx].1 -= 1;
+                        if live[idx].1 == 0 {
+                            live.remove(idx);
+                        }
+                    }
+                }
+                RfOp::Write(i, v) => {
+                    if !live.is_empty() {
+                        let idx = i % live.len();
+                        rf.write(live[idx].0, v);
+                        live[idx].2 = Some(v);
+                    }
+                }
+            }
+            rf.check_conservation();
+            for &(reg, count, value) in &live {
+                prop_assert_eq!(rf.refcount(reg), count);
+                if let Some(v) = value {
+                    prop_assert!(rf.is_ready(reg));
+                    prop_assert_eq!(rf.read(reg), v);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! End-to-end smoke tests: kernels run to a commit budget under every
+//! feature configuration, and basic sanity properties hold.
+
+use multipath_core::{Features, SimConfig, Simulator};
+use multipath_workload::{kernels, mix, Benchmark};
+
+fn run(features: Features, bench: Benchmark, budget: u64) -> multipath_core::Stats {
+    let program = kernels::build(bench, 1);
+    let config = SimConfig::big_2_16().with_features(features);
+    let mut sim = Simulator::new(config, vec![program]);
+    sim.run(budget, 400_000).clone()
+}
+
+#[test]
+fn compress_runs_under_all_six_configs() {
+    for features in Features::all_six() {
+        let stats = run(features, Benchmark::Compress, 5_000);
+        assert!(
+            stats.committed >= 5_000,
+            "{}: committed {} in {} cycles",
+            features.label(),
+            stats.committed,
+            stats.cycles
+        );
+        assert!(stats.ipc() > 0.1, "{}: ipc {}", features.label(), stats.ipc());
+    }
+}
+
+#[test]
+fn every_kernel_runs_under_full_architecture() {
+    for bench in Benchmark::ALL {
+        let stats = run(Features::rec_rs_ru(), bench, 3_000);
+        assert!(
+            stats.committed >= 3_000,
+            "{bench}: committed {} in {} cycles",
+            stats.committed,
+            stats.cycles
+        );
+    }
+}
+
+#[test]
+fn recycling_stats_only_with_recycling_enabled() {
+    let smt = run(Features::smt(), Benchmark::Compress, 3_000);
+    assert_eq!(smt.recycled, 0);
+    assert_eq!(smt.forks, 0);
+    let tme = run(Features::tme(), Benchmark::Go, 3_000);
+    assert_eq!(tme.recycled, 0);
+    assert!(tme.forks > 0, "go must fork under TME");
+    let rec = run(Features::rec_rs_ru(), Benchmark::Compress, 5_000);
+    assert!(rec.recycled > 0, "compress must recycle");
+}
+
+#[test]
+fn multiprogram_runs() {
+    let programs = mix::programs(&[Benchmark::Compress, Benchmark::Gcc], 3);
+    let config = SimConfig::big_2_16().with_features(Features::rec_rs_ru());
+    let mut sim = Simulator::new(config, programs);
+    let stats = sim.run(6_000, 400_000);
+    assert!(stats.committed >= 6_000);
+    assert!(stats.committed_per_program.iter().all(|&c| c > 0), "both programs progress");
+}

@@ -1,0 +1,25 @@
+// One-off soak: long runs under debug assertions (register conservation
+// checked every 4096 cycles).
+use multipath_core::{Features, SimConfig, Simulator};
+use multipath_workload::{kernels, mix, Benchmark};
+
+#[test]
+#[ignore]
+fn soak() {
+    for b in Benchmark::ALL {
+        let mut sim = Simulator::new(
+            SimConfig::big_2_16().with_features(Features::rec_rs_ru()),
+            vec![kernels::build(b, 99)],
+        );
+        let s = sim.run(150_000, 4_000_000);
+        println!("{b}: {} committed in {} cycles (IPC {:.2})", s.committed, s.cycles, s.ipc());
+        assert!(s.committed >= 150_000, "{b} starved");
+    }
+    let mut sim = Simulator::new(
+        SimConfig::big_2_16().with_features(Features::rec_rs_ru()),
+        mix::programs(&Benchmark::ALL, 3),
+    );
+    let s = sim.run(400_000, 4_000_000);
+    println!("8-program soak: {} committed (IPC {:.2})", s.committed, s.ipc());
+    assert!(s.committed >= 400_000);
+}

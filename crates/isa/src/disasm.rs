@@ -1,0 +1,127 @@
+//! Textual disassembly.
+//!
+//! [`Inst`] implements [`std::fmt::Display`] in the assembler's own syntax,
+//! so traces and test failures read like listings:
+//!
+//! ```
+//! use multipath_isa::{Inst, IntReg, Opcode};
+//!
+//! let i = Inst::load(Opcode::Ldq, IntReg::R4, -8, IntReg::R5);
+//! assert_eq!(i.to_string(), "ldq r4, -8(r5)");
+//! ```
+
+use crate::inst::{Inst, OperandClass};
+use crate::reg::Reg;
+use std::fmt;
+
+fn r(reg: Option<Reg>) -> String {
+    match reg {
+        Some(reg) => reg.to_string(),
+        None => "r31".to_owned(),
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = self.op.mnemonic();
+        match self.op.operand_class() {
+            OperandClass::Rrr | OperandClass::Fp | OperandClass::FpCmp => {
+                write!(f, "{m} {}, {}, {}", r(self.dest), r(self.src1), r(self.src2))
+            }
+            OperandClass::Rri => {
+                write!(f, "{m} {}, {}, #{}", r(self.dest), r(self.src1), self.imm)
+            }
+            OperandClass::Mem => {
+                let data = if self.op.is_store() { self.src2 } else { self.dest };
+                write!(f, "{m} {}, {}({})", r(data), self.imm, r(self.src1))
+            }
+            OperandClass::CondBr => {
+                write!(f, "{m} {}, {:+}", r(self.src1), self.imm)
+            }
+            OperandClass::Br => write!(f, "{m} {:+}", self.imm),
+            OperandClass::Jump => write!(f, "{m} ({})", r(self.src1)),
+            OperandClass::Cvt => {
+                write!(f, "{m} {}, {}", r(self.dest), r(self.src1))
+            }
+            OperandClass::None => f.write_str(m),
+        }
+    }
+}
+
+/// Disassembles an encoded word, or formats it as raw data if undecodable.
+pub fn disassemble(word: u32) -> String {
+    match Inst::decode(word) {
+        Some(inst) => inst.to_string(),
+        None => format!(".word {word:#010x}"),
+    }
+}
+
+/// Disassembles a code region as an address-annotated listing.
+///
+/// `base` is the address of `words[0]`. Useful for debugging generated
+/// kernels:
+///
+/// ```
+/// use multipath_isa::{disasm::listing, Inst};
+///
+/// let code = [Inst::nop().encode(), Inst::halt().encode()];
+/// let text = listing(0x1000, &code);
+/// assert!(text.contains("0x00001000: nop"));
+/// ```
+pub fn listing(base: u64, words: &[u32]) -> String {
+    use fmt::Write as _;
+    let mut out = String::with_capacity(words.len() * 32);
+    for (i, &w) in words.iter().enumerate() {
+        let addr = base + i as u64 * crate::INST_BYTES;
+        let _ = writeln!(out, "{addr:#010x}: {}", disassemble(w));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Opcode;
+    use crate::reg::{FpReg, IntReg};
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            Inst::rrr(Opcode::Add, IntReg::R3, IntReg::R1, IntReg::R2).to_string(),
+            "add r3, r1, r2"
+        );
+        assert_eq!(
+            Inst::rri(Opcode::Addi, IntReg::R3, IntReg::R1, -5).to_string(),
+            "addi r3, r1, #-5"
+        );
+        assert_eq!(
+            Inst::store(Opcode::Stq, IntReg::R4, 8, IntReg::R5).to_string(),
+            "stq r4, 8(r5)"
+        );
+        assert_eq!(
+            Inst::cond_branch(Opcode::Beq, IntReg::R1, -4).to_string(),
+            "beq r1, -4"
+        );
+        assert_eq!(Inst::branch(7).to_string(), "br +7");
+        assert_eq!(Inst::ret(IntReg::RA).to_string(), "ret (r26)");
+        assert_eq!(
+            Inst::fp(Opcode::Addt, FpReg::F1, FpReg::F2, FpReg::F3).to_string(),
+            "addt f1, f2, f3"
+        );
+        assert_eq!(Inst::cvtqt(FpReg::F1, IntReg::R2).to_string(), "cvtqt f1, r2");
+        assert_eq!(Inst::nop().to_string(), "nop");
+    }
+
+    #[test]
+    fn undecodable_word_formats_as_data() {
+        assert_eq!(disassemble(u32::MAX), ".word 0xffffffff");
+    }
+
+    #[test]
+    fn listing_includes_addresses() {
+        let code = [Inst::nop().encode(), Inst::halt().encode()];
+        let text = listing(0x2000, &code);
+        assert!(text.contains("0x00002000: nop"));
+        assert!(text.contains("0x00002004: halt"));
+    }
+}

@@ -1,0 +1,203 @@
+//! 32-bit binary encoding.
+//!
+//! Instruction memory holds encoded words; the fetch stage pulls words
+//! through the instruction cache and the decode stage recovers [`Inst`]s.
+//! The layout is Alpha-flavoured: a 6-bit primary opcode in the top bits,
+//! then fields determined by the opcode's [`OperandClass`]:
+//!
+//! ```text
+//! Rrr    | op:6 | ra:5 | rb:5 | rc:5 | 0:11 |
+//! Rri    | op:6 | ra:5 | rc:5 | imm:16      |
+//! Mem    | op:6 | ra:5 | rb:5 | disp:16     |
+//! CondBr | op:6 | ra:5 | disp:21            |
+//! Br     | op:6 | 0:5  | disp:21            |
+//! Jump   | op:6 | rb:5 | 0:21               |
+//! Fp     | op:6 | fa:5 | fb:5 | fc:5 | 0:11 |
+//! FpCmp  | op:6 | fa:5 | fb:5 | rc:5 | 0:11 |
+//! Cvt    | op:6 | rs:5 | rd:5 | 0:16        |
+//! None   | op:6 | 0:26                      |
+//! ```
+
+use crate::inst::{Inst, Opcode, OperandClass};
+use crate::reg::{FpReg, IntReg, Reg};
+
+const OP_SHIFT: u32 = 26;
+const RA_SHIFT: u32 = 21;
+const RB_SHIFT: u32 = 16;
+const RC_SHIFT: u32 = 11;
+const REG_MASK: u32 = 0x1f;
+const IMM_MASK: u32 = 0xffff;
+const DISP21_MASK: u32 = 0x1f_ffff;
+
+fn reg_num(r: Option<Reg>) -> u32 {
+    // Absent destinations encode as the hardwired zero register.
+    match r {
+        Some(Reg::Int(r)) => r.number() as u32,
+        Some(Reg::Fp(r)) => r.number() as u32,
+        None => 31,
+    }
+}
+
+fn sext16(v: u32) -> i32 {
+    (v as u16) as i16 as i32
+}
+
+fn sext21(v: u32) -> i32 {
+    let v = v & DISP21_MASK;
+    if v & (1 << 20) != 0 {
+        (v | !DISP21_MASK) as i32
+    } else {
+        v as i32
+    }
+}
+
+impl Inst {
+    /// Encodes this instruction into its 32-bit word.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if an immediate or displacement does not fit
+    /// its field; the assembler in `multipath-workload` checks ranges before
+    /// emitting.
+    pub fn encode(&self) -> u32 {
+        let op = (self.op.code() as u32) << OP_SHIFT;
+        match self.op.operand_class() {
+            OperandClass::Rrr => {
+                op | (reg_num(self.src1) << RA_SHIFT)
+                    | (reg_num(self.src2) << RB_SHIFT)
+                    | (reg_num(self.dest) << RC_SHIFT)
+            }
+            OperandClass::Rri => {
+                debug_assert!(i16::try_from(self.imm).is_ok());
+                op | (reg_num(self.src1) << RA_SHIFT)
+                    | (reg_num(self.dest) << RB_SHIFT)
+                    | (self.imm as u32 & IMM_MASK)
+            }
+            OperandClass::Mem => {
+                debug_assert!(i16::try_from(self.imm).is_ok());
+                let ra = if self.op.is_store() { self.src2 } else { self.dest };
+                op | (reg_num(ra) << RA_SHIFT)
+                    | (reg_num(self.src1) << RB_SHIFT)
+                    | (self.imm as u32 & IMM_MASK)
+            }
+            OperandClass::CondBr => {
+                op | (reg_num(self.src1) << RA_SHIFT)
+                    | (self.imm as u32 & DISP21_MASK)
+            }
+            OperandClass::Br => op | (self.imm as u32 & DISP21_MASK),
+            OperandClass::Jump => op | (reg_num(self.src1) << RA_SHIFT),
+            OperandClass::Fp => {
+                op | (reg_num(self.src1) << RA_SHIFT)
+                    | (reg_num(self.src2) << RB_SHIFT)
+                    | (reg_num(self.dest) << RC_SHIFT)
+            }
+            OperandClass::FpCmp => {
+                op | (reg_num(self.src1) << RA_SHIFT)
+                    | (reg_num(self.src2) << RB_SHIFT)
+                    | (reg_num(self.dest) << RC_SHIFT)
+            }
+            OperandClass::Cvt => {
+                op | (reg_num(self.src1) << RA_SHIFT)
+                    | (reg_num(self.dest) << RB_SHIFT)
+            }
+            OperandClass::None => op,
+        }
+    }
+
+    /// Decodes a 32-bit word; `None` if the opcode field is unassigned.
+    pub fn decode(word: u32) -> Option<Inst> {
+        let op = Opcode::from_code((word >> OP_SHIFT) as u8)?;
+        let ra = (word >> RA_SHIFT) & REG_MASK;
+        let rb = (word >> RB_SHIFT) & REG_MASK;
+        let rc = (word >> RC_SHIFT) & REG_MASK;
+        let ir = |n: u32| IntReg::new(n as u8);
+        let fr = |n: u32| FpReg::new(n as u8);
+        Some(match op.operand_class() {
+            OperandClass::Rrr => Inst::rrr(op, ir(rc), ir(ra), ir(rb)),
+            OperandClass::Rri => Inst::rri(op, ir(rb), ir(ra), sext16(word) as i16),
+            OperandClass::Mem => {
+                let disp = sext16(word) as i16;
+                match op {
+                    Opcode::Ldt => Inst::fload(fr(ra), disp, ir(rb)),
+                    Opcode::Stt => Inst::fstore(fr(ra), disp, ir(rb)),
+                    _ if op.is_load() => Inst::load(op, ir(ra), disp, ir(rb)),
+                    _ => Inst::store(op, ir(ra), disp, ir(rb)),
+                }
+            }
+            OperandClass::CondBr => Inst::cond_branch(op, ir(ra), sext21(word)),
+            OperandClass::Br => match op {
+                Opcode::Jsr => Inst::call(sext21(word)),
+                _ => Inst::branch(sext21(word)),
+            },
+            OperandClass::Jump => match op {
+                Opcode::Ret => Inst::ret(ir(ra)),
+                _ => Inst::jump(ir(ra)),
+            },
+            OperandClass::Fp => Inst::fp(op, fr(rc), fr(ra), fr(rb)),
+            OperandClass::FpCmp => Inst::fp_cmp(op, ir(rc), fr(ra), fr(rb)),
+            OperandClass::Cvt => match op {
+                Opcode::Cvtqt => Inst::cvtqt(fr(rb), ir(ra)),
+                _ => Inst::cvttq(ir(rb), fr(ra)),
+            },
+            OperandClass::None => match op {
+                Opcode::Halt => Inst::halt(),
+                _ => Inst::nop(),
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(i: Inst) {
+        let w = i.encode();
+        assert_eq!(Inst::decode(w), Some(i), "word {w:#010x}");
+    }
+
+    #[test]
+    fn round_trip_representative_instructions() {
+        round_trip(Inst::rrr(Opcode::Add, IntReg::R1, IntReg::R2, IntReg::R3));
+        round_trip(Inst::rrr(Opcode::Cmpult, IntReg::R30, IntReg::R29, IntReg::R28));
+        round_trip(Inst::rri(Opcode::Addi, IntReg::R7, IntReg::R8, -123));
+        round_trip(Inst::rri(Opcode::Lda, IntReg::R1, IntReg::ZERO, 0x7fff));
+        round_trip(Inst::rri(Opcode::Ldih, IntReg::R1, IntReg::R1, -0x8000));
+        round_trip(Inst::load(Opcode::Ldq, IntReg::R4, -8, IntReg::R5));
+        round_trip(Inst::store(Opcode::Stb, IntReg::R4, 255, IntReg::R5));
+        round_trip(Inst::fload(FpReg::F2, 16, IntReg::R9));
+        round_trip(Inst::fstore(FpReg::F2, 16, IntReg::R9));
+        round_trip(Inst::cond_branch(Opcode::Beq, IntReg::R3, -1024));
+        round_trip(Inst::cond_branch(Opcode::Bge, IntReg::R3, (1 << 20) - 1));
+        round_trip(Inst::branch(-(1 << 20)));
+        round_trip(Inst::call(4242));
+        round_trip(Inst::ret(IntReg::RA));
+        round_trip(Inst::jump(IntReg::R27));
+        round_trip(Inst::fp(Opcode::Mult, FpReg::F1, FpReg::F2, FpReg::F3));
+        round_trip(Inst::fp_cmp(Opcode::Cmptlt, IntReg::R1, FpReg::F2, FpReg::F3));
+        round_trip(Inst::cvtqt(FpReg::F0, IntReg::R0));
+        round_trip(Inst::cvttq(IntReg::R0, FpReg::F0));
+        round_trip(Inst::nop());
+        round_trip(Inst::halt());
+    }
+
+    #[test]
+    fn zero_dest_encodes_as_r31() {
+        let i = Inst::rrr(Opcode::Add, IntReg::ZERO, IntReg::R1, IntReg::R2);
+        assert_eq!(i.dest, None);
+        round_trip(i);
+    }
+
+    #[test]
+    fn undefined_opcode_decodes_to_none() {
+        assert_eq!(Inst::decode(63 << 26), None);
+        assert_eq!(Inst::decode(u32::MAX), None);
+    }
+
+    #[test]
+    fn displacement_sign_extension() {
+        let b = Inst::cond_branch(Opcode::Bne, IntReg::R1, -1);
+        let d = Inst::decode(b.encode()).unwrap();
+        assert_eq!(d.imm, -1);
+    }
+}

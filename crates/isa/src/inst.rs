@@ -1,0 +1,586 @@
+//! Decoded instruction form.
+//!
+//! [`Inst`] is the representation the pipeline works with: after the decode
+//! stage every in-flight instruction carries one, and the active lists store
+//! it so the recycling datapath can re-inject instructions into rename
+//! without repeating fetch or decode (the paper's Section 3.3).
+
+use crate::reg::{FpReg, IntReg, Reg};
+use std::fmt;
+
+/// The functional-unit class an instruction issues to.
+///
+/// The baseline machine has 12 integer units (8 of which can perform
+/// loads/stores) and 6 floating-point units (paper Section 4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuClass {
+    /// Simple integer ALU operation (also conditional/unconditional branches).
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Load or store (integer units with load/store capability).
+    LoadStore,
+    /// Floating-point add/compare/convert.
+    FpAdd,
+    /// Floating-point multiply.
+    FpMul,
+    /// Floating-point divide.
+    FpDiv,
+}
+
+/// Access width of a memory operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemWidth {
+    /// One byte (zero-extended on load).
+    Byte,
+    /// Four bytes (zero-extended on load).
+    Word,
+    /// Eight bytes.
+    Quad,
+}
+
+impl MemWidth {
+    /// The width in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            MemWidth::Byte => 1,
+            MemWidth::Word => 4,
+            MemWidth::Quad => 8,
+        }
+    }
+}
+
+/// Operand-format class of an opcode; determines the binary encoding layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperandClass {
+    /// `op rc, ra, rb` — three-register integer operate.
+    Rrr,
+    /// `op rc, ra, #imm16` — register + immediate integer operate.
+    Rri,
+    /// `op ra, disp16(rb)` — memory access.
+    Mem,
+    /// `op ra, disp21` — conditional branch on `ra` relative to PC.
+    CondBr,
+    /// `op disp21` — unconditional PC-relative branch/call.
+    Br,
+    /// `op (rb)` — indirect jump through a register.
+    Jump,
+    /// `op fc, fa, fb` — three-register floating-point operate.
+    Fp,
+    /// `op rc, fa, fb` — floating-point compare writing an integer register.
+    FpCmp,
+    /// `op fc, ra` / `op rc, fa` — conversion between the files.
+    Cvt,
+    /// No operands.
+    None,
+}
+
+macro_rules! opcodes {
+    ($($variant:ident = ($code:expr, $class:expr, $mnemonic:expr)),* $(,)?) => {
+        /// Every operation in the ISA.
+        ///
+        /// The set mirrors the Alpha subset that the SPEC95-proxy kernels
+        /// need: integer operate (register and immediate forms), quad/word/
+        /// byte loads and stores, PC-relative control flow with a
+        /// call/return pair for the return-address stack, and IEEE double
+        /// arithmetic.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[repr(u8)]
+        pub enum Opcode {
+            $(
+                #[doc = concat!("`", $mnemonic, "`")]
+                $variant = $code,
+            )*
+        }
+
+        impl Opcode {
+            /// All opcodes, for exhaustive iteration in tests and tables.
+            pub const ALL: &'static [Opcode] = &[$(Opcode::$variant),*];
+
+            /// The 6-bit primary opcode used in the binary encoding.
+            pub fn code(self) -> u8 {
+                self as u8
+            }
+
+            /// Recovers an opcode from its 6-bit encoding.
+            pub fn from_code(code: u8) -> Option<Opcode> {
+                match code {
+                    $($code => Some(Opcode::$variant),)*
+                    _ => None,
+                }
+            }
+
+            /// The operand-format class, which fixes the encoding layout.
+            pub fn operand_class(self) -> OperandClass {
+                match self {
+                    $(Opcode::$variant => $class,)*
+                }
+            }
+
+            /// The assembler mnemonic.
+            pub fn mnemonic(self) -> &'static str {
+                match self {
+                    $(Opcode::$variant => $mnemonic,)*
+                }
+            }
+        }
+    };
+}
+
+use OperandClass as OC;
+
+opcodes! {
+    // Integer operate, register form.
+    Add = (0, OC::Rrr, "add"),
+    Sub = (1, OC::Rrr, "sub"),
+    Mul = (2, OC::Rrr, "mul"),
+    And = (3, OC::Rrr, "and"),
+    Or = (4, OC::Rrr, "or"),
+    Xor = (5, OC::Rrr, "xor"),
+    Sll = (6, OC::Rrr, "sll"),
+    Srl = (7, OC::Rrr, "srl"),
+    Sra = (8, OC::Rrr, "sra"),
+    Cmpeq = (9, OC::Rrr, "cmpeq"),
+    Cmplt = (10, OC::Rrr, "cmplt"),
+    Cmple = (11, OC::Rrr, "cmple"),
+    Cmpult = (12, OC::Rrr, "cmpult"),
+    // Integer operate, immediate form.
+    Addi = (13, OC::Rri, "addi"),
+    Subi = (14, OC::Rri, "subi"),
+    Muli = (15, OC::Rri, "muli"),
+    Andi = (16, OC::Rri, "andi"),
+    Ori = (17, OC::Rri, "ori"),
+    Xori = (18, OC::Rri, "xori"),
+    Slli = (19, OC::Rri, "slli"),
+    Srli = (20, OC::Rri, "srli"),
+    Srai = (21, OC::Rri, "srai"),
+    Cmpeqi = (22, OC::Rri, "cmpeqi"),
+    Cmplti = (23, OC::Rri, "cmplti"),
+    Cmplei = (24, OC::Rri, "cmplei"),
+    Cmpulti = (25, OC::Rri, "cmpulti"),
+    // `lda rc, ra, #imm` computes ra + imm (address arithmetic / constants).
+    Lda = (26, OC::Rri, "lda"),
+    // `ldih rc, ra, #imm` computes ra + (imm << 16) (wide constants).
+    Ldih = (27, OC::Rri, "ldih"),
+    // Memory.
+    Ldq = (28, OC::Mem, "ldq"),
+    Stq = (29, OC::Mem, "stq"),
+    Ldl = (30, OC::Mem, "ldl"),
+    Stl = (31, OC::Mem, "stl"),
+    Ldbu = (32, OC::Mem, "ldbu"),
+    Stb = (33, OC::Mem, "stb"),
+    Ldt = (34, OC::Mem, "ldt"),
+    Stt = (35, OC::Mem, "stt"),
+    // Control.
+    Beq = (36, OC::CondBr, "beq"),
+    Bne = (37, OC::CondBr, "bne"),
+    Blt = (38, OC::CondBr, "blt"),
+    Ble = (39, OC::CondBr, "ble"),
+    Bgt = (40, OC::CondBr, "bgt"),
+    Bge = (41, OC::CondBr, "bge"),
+    Br = (42, OC::Br, "br"),
+    Jsr = (43, OC::Br, "jsr"),
+    Ret = (44, OC::Jump, "ret"),
+    Jmp = (45, OC::Jump, "jmp"),
+    // Floating point (IEEE double, "T" format as on Alpha).
+    Addt = (46, OC::Fp, "addt"),
+    Subt = (47, OC::Fp, "subt"),
+    Mult = (48, OC::Fp, "mult"),
+    Divt = (49, OC::Fp, "divt"),
+    Cmptlt = (50, OC::FpCmp, "cmptlt"),
+    Cmpteq = (51, OC::FpCmp, "cmpteq"),
+    Cmptle = (52, OC::FpCmp, "cmptle"),
+    Cvtqt = (53, OC::Cvt, "cvtqt"),
+    Cvttq = (54, OC::Cvt, "cvttq"),
+    // Miscellaneous.
+    Nop = (55, OC::None, "nop"),
+    Halt = (56, OC::None, "halt"),
+}
+
+impl Opcode {
+    /// Whether this is a conditional branch.
+    pub fn is_cond_branch(self) -> bool {
+        self.operand_class() == OC::CondBr
+    }
+
+    /// Whether this instruction can redirect the PC (any control flow).
+    pub fn is_control(self) -> bool {
+        matches!(
+            self.operand_class(),
+            OC::CondBr | OC::Br | OC::Jump
+        )
+    }
+
+    /// Whether this is a memory load.
+    pub fn is_load(self) -> bool {
+        matches!(self, Opcode::Ldq | Opcode::Ldl | Opcode::Ldbu | Opcode::Ldt)
+    }
+
+    /// Whether this is a memory store.
+    pub fn is_store(self) -> bool {
+        matches!(self, Opcode::Stq | Opcode::Stl | Opcode::Stb | Opcode::Stt)
+    }
+
+    /// The access width for memory operations, [`None`] otherwise.
+    pub fn mem_width(self) -> Option<MemWidth> {
+        match self {
+            Opcode::Ldq | Opcode::Stq => Some(MemWidth::Quad),
+            Opcode::Ldl | Opcode::Stl => Some(MemWidth::Word),
+            Opcode::Ldbu | Opcode::Stb => Some(MemWidth::Byte),
+            Opcode::Ldt | Opcode::Stt => Some(MemWidth::Quad),
+            _ => None,
+        }
+    }
+
+    /// The functional-unit class this opcode issues to.
+    pub fn fu_class(self) -> FuClass {
+        match self {
+            Opcode::Mul => FuClass::IntMul,
+            Opcode::Muli => FuClass::IntMul,
+            op if op.is_load() || op.is_store() => FuClass::LoadStore,
+            Opcode::Addt | Opcode::Subt | Opcode::Cmptlt | Opcode::Cmpteq
+            | Opcode::Cmptle | Opcode::Cvtqt | Opcode::Cvttq => FuClass::FpAdd,
+            Opcode::Mult => FuClass::FpMul,
+            Opcode::Divt => FuClass::FpDiv,
+            _ => FuClass::IntAlu,
+        }
+    }
+
+    /// Default execution latency in cycles (Alpha 21264-like).
+    ///
+    /// Load latency here is the execute-stage cost only; cache access time
+    /// is added by the memory hierarchy model.
+    pub fn latency(self) -> u32 {
+        match self.fu_class() {
+            FuClass::IntAlu => 1,
+            FuClass::IntMul => 7,
+            FuClass::LoadStore => 1,
+            FuClass::FpAdd => 4,
+            FuClass::FpMul => 4,
+            FuClass::FpDiv => 12,
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// A decoded instruction.
+///
+/// `imm` holds the sign-extended 16-bit immediate for operate/memory forms,
+/// or the 21-bit PC-relative displacement *in instructions* for branch
+/// forms. Source/destination registers are typed: the operand class of the
+/// opcode determines which file each register lives in.
+///
+/// # Examples
+///
+/// ```
+/// use multipath_isa::{Inst, IntReg, Opcode};
+///
+/// // r1 = r2 + 12
+/// let i = Inst::rri(Opcode::Addi, IntReg::R1, IntReg::R2, 12);
+/// assert_eq!(i.dest, Some(IntReg::R1.into()));
+/// assert!(!i.op.is_control());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Inst {
+    /// The operation.
+    pub op: Opcode,
+    /// Destination register, if the instruction writes one.
+    pub dest: Option<Reg>,
+    /// First source register.
+    pub src1: Option<Reg>,
+    /// Second source register.
+    pub src2: Option<Reg>,
+    /// Immediate / displacement (see type-level docs).
+    pub imm: i32,
+}
+
+impl Inst {
+    /// Three-register integer operate: `op rc, ra, rb`.
+    pub fn rrr(op: Opcode, rc: IntReg, ra: IntReg, rb: IntReg) -> Inst {
+        debug_assert_eq!(op.operand_class(), OC::Rrr);
+        Inst {
+            op,
+            dest: dest_reg(rc.into()),
+            src1: Some(ra.into()),
+            src2: Some(rb.into()),
+            imm: 0,
+        }
+    }
+
+    /// Register-immediate integer operate: `op rc, ra, #imm`.
+    pub fn rri(op: Opcode, rc: IntReg, ra: IntReg, imm: i16) -> Inst {
+        debug_assert_eq!(op.operand_class(), OC::Rri);
+        Inst {
+            op,
+            dest: dest_reg(rc.into()),
+            src1: Some(ra.into()),
+            src2: None,
+            imm: imm as i32,
+        }
+    }
+
+    /// Integer load: `op ra, disp(rb)`.
+    pub fn load(op: Opcode, ra: IntReg, disp: i16, rb: IntReg) -> Inst {
+        debug_assert!(op.is_load() && !matches!(op, Opcode::Ldt));
+        Inst {
+            op,
+            dest: dest_reg(ra.into()),
+            src1: Some(rb.into()),
+            src2: None,
+            imm: disp as i32,
+        }
+    }
+
+    /// Integer store: `op ra, disp(rb)` (stores `ra`).
+    pub fn store(op: Opcode, ra: IntReg, disp: i16, rb: IntReg) -> Inst {
+        debug_assert!(op.is_store() && !matches!(op, Opcode::Stt));
+        Inst {
+            op,
+            dest: None,
+            src1: Some(rb.into()),
+            src2: Some(ra.into()),
+            imm: disp as i32,
+        }
+    }
+
+    /// Floating-point load: `ldt fa, disp(rb)`.
+    pub fn fload(fa: FpReg, disp: i16, rb: IntReg) -> Inst {
+        Inst {
+            op: Opcode::Ldt,
+            dest: dest_reg(fa.into()),
+            src1: Some(rb.into()),
+            src2: None,
+            imm: disp as i32,
+        }
+    }
+
+    /// Floating-point store: `stt fa, disp(rb)` (stores `fa`).
+    pub fn fstore(fa: FpReg, disp: i16, rb: IntReg) -> Inst {
+        Inst {
+            op: Opcode::Stt,
+            dest: None,
+            src1: Some(rb.into()),
+            src2: Some(fa.into()),
+            imm: disp as i32,
+        }
+    }
+
+    /// Conditional branch: `op ra, disp` (displacement in instructions,
+    /// relative to the *next* PC, as on Alpha).
+    pub fn cond_branch(op: Opcode, ra: IntReg, disp: i32) -> Inst {
+        debug_assert!(op.is_cond_branch());
+        debug_assert!((-(1 << 20)..(1 << 20)).contains(&disp));
+        Inst {
+            op,
+            dest: None,
+            src1: Some(ra.into()),
+            src2: None,
+            imm: disp,
+        }
+    }
+
+    /// Unconditional branch: `br disp`.
+    pub fn branch(disp: i32) -> Inst {
+        Inst {
+            op: Opcode::Br,
+            dest: None,
+            src1: None,
+            src2: None,
+            imm: disp,
+        }
+    }
+
+    /// Direct call: `jsr disp` — links the return address into `r26`.
+    pub fn call(disp: i32) -> Inst {
+        Inst {
+            op: Opcode::Jsr,
+            dest: Some(IntReg::RA.into()),
+            src1: None,
+            src2: None,
+            imm: disp,
+        }
+    }
+
+    /// Return: `ret (rb)` — jumps to `rb`, predicted via the return stack.
+    pub fn ret(rb: IntReg) -> Inst {
+        Inst {
+            op: Opcode::Ret,
+            dest: None,
+            src1: Some(rb.into()),
+            src2: None,
+            imm: 0,
+        }
+    }
+
+    /// Indirect jump: `jmp (rb)`.
+    pub fn jump(rb: IntReg) -> Inst {
+        Inst {
+            op: Opcode::Jmp,
+            dest: None,
+            src1: Some(rb.into()),
+            src2: None,
+            imm: 0,
+        }
+    }
+
+    /// Three-register floating-point operate: `op fc, fa, fb`.
+    pub fn fp(op: Opcode, fc: FpReg, fa: FpReg, fb: FpReg) -> Inst {
+        debug_assert_eq!(op.operand_class(), OC::Fp);
+        Inst {
+            op,
+            dest: dest_reg(fc.into()),
+            src1: Some(fa.into()),
+            src2: Some(fb.into()),
+            imm: 0,
+        }
+    }
+
+    /// Floating-point compare writing an integer register: `op rc, fa, fb`.
+    pub fn fp_cmp(op: Opcode, rc: IntReg, fa: FpReg, fb: FpReg) -> Inst {
+        debug_assert_eq!(op.operand_class(), OC::FpCmp);
+        Inst {
+            op,
+            dest: dest_reg(rc.into()),
+            src1: Some(fa.into()),
+            src2: Some(fb.into()),
+            imm: 0,
+        }
+    }
+
+    /// Integer-to-float conversion: `cvtqt fc, ra`.
+    pub fn cvtqt(fc: FpReg, ra: IntReg) -> Inst {
+        Inst {
+            op: Opcode::Cvtqt,
+            dest: dest_reg(fc.into()),
+            src1: Some(ra.into()),
+            src2: None,
+            imm: 0,
+        }
+    }
+
+    /// Float-to-integer conversion (truncating): `cvttq rc, fa`.
+    pub fn cvttq(rc: IntReg, fa: FpReg) -> Inst {
+        Inst {
+            op: Opcode::Cvttq,
+            dest: dest_reg(rc.into()),
+            src1: Some(fa.into()),
+            src2: None,
+            imm: 0,
+        }
+    }
+
+    /// The canonical no-op.
+    pub fn nop() -> Inst {
+        Inst { op: Opcode::Nop, dest: None, src1: None, src2: None, imm: 0 }
+    }
+
+    /// Stops the executing thread.
+    pub fn halt() -> Inst {
+        Inst { op: Opcode::Halt, dest: None, src1: None, src2: None, imm: 0 }
+    }
+
+    /// The branch/call target given the address of this instruction.
+    ///
+    /// Only meaningful for PC-relative control flow (`CondBr`/`Br` classes);
+    /// indirect jumps resolve their target from a register at execute.
+    pub fn direct_target(&self, pc: u64) -> u64 {
+        pc.wrapping_add(crate::INST_BYTES)
+            .wrapping_add((self.imm as i64 * crate::INST_BYTES as i64) as u64)
+    }
+
+    /// Whether this instruction writes a floating-point destination.
+    pub fn writes_fp(&self) -> bool {
+        matches!(self.dest, Some(Reg::Fp(_)))
+    }
+}
+
+/// Writes to the hardwired zero registers are discarded at decode: the
+/// instruction simply has no destination, so rename allocates nothing.
+fn dest_reg(r: Reg) -> Option<Reg> {
+    if r.is_zero() {
+        None
+    } else {
+        Some(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcode_codes_are_unique_and_round_trip() {
+        for &op in Opcode::ALL {
+            assert_eq!(Opcode::from_code(op.code()), Some(op));
+        }
+        let mut codes: Vec<u8> = Opcode::ALL.iter().map(|o| o.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), Opcode::ALL.len());
+    }
+
+    #[test]
+    fn classification_is_consistent() {
+        for &op in Opcode::ALL {
+            assert!(!(op.is_load() && op.is_store()));
+            if op.is_load() || op.is_store() {
+                assert_eq!(op.fu_class(), FuClass::LoadStore);
+                assert!(op.mem_width().is_some());
+            } else {
+                assert!(op.mem_width().is_none());
+            }
+            if op.is_cond_branch() {
+                assert!(op.is_control());
+            }
+        }
+        assert!(Opcode::Br.is_control());
+        assert!(Opcode::Ret.is_control());
+        assert!(!Opcode::Add.is_control());
+    }
+
+    #[test]
+    fn zero_register_destinations_are_dropped() {
+        let i = Inst::rrr(Opcode::Add, IntReg::ZERO, IntReg::R1, IntReg::R2);
+        assert_eq!(i.dest, None);
+        let f = Inst::fp(Opcode::Addt, FpReg::ZERO, FpReg::F1, FpReg::F2);
+        assert_eq!(f.dest, None);
+    }
+
+    #[test]
+    fn direct_target_arithmetic() {
+        // A branch at 0x1000 with displacement +3 targets 0x1000+4+12.
+        let b = Inst::cond_branch(Opcode::Beq, IntReg::R1, 3);
+        assert_eq!(b.direct_target(0x1000), 0x1010);
+        // Negative displacement: back to itself - 4.
+        let b = Inst::cond_branch(Opcode::Bne, IntReg::R1, -2);
+        assert_eq!(b.direct_target(0x1000), 0xffc);
+    }
+
+    #[test]
+    fn store_sources() {
+        let s = Inst::store(Opcode::Stq, IntReg::R4, 8, IntReg::R5);
+        assert_eq!(s.dest, None);
+        assert_eq!(s.src1, Some(IntReg::R5.into())); // base
+        assert_eq!(s.src2, Some(IntReg::R4.into())); // data
+    }
+
+    #[test]
+    fn latencies_match_fu_classes() {
+        assert_eq!(Opcode::Add.latency(), 1);
+        assert_eq!(Opcode::Mul.latency(), 7);
+        assert_eq!(Opcode::Addt.latency(), 4);
+        assert_eq!(Opcode::Divt.latency(), 12);
+    }
+
+    #[test]
+    fn call_links_ra() {
+        let c = Inst::call(100);
+        assert_eq!(c.dest, Some(IntReg::RA.into()));
+        assert_eq!(c.direct_target(0), 4 + 400);
+    }
+}

@@ -1,0 +1,40 @@
+//! An Alpha-like 64-bit RISC instruction set for the `multipath` simulator.
+//!
+//! The HPCA'99 instruction-recycling study ran Alpha 21264 executables; this
+//! crate provides the equivalent substrate: 32 integer and 32 floating-point
+//! logical registers, a compact fixed-width 32-bit encoding, and precise
+//! functional semantics (implemented by the execution stage in
+//! `multipath-core`).
+//!
+//! The crate has three layers:
+//!
+//! * [`reg`] — logical register names ([`IntReg`], [`FpReg`], [`Reg`]).
+//! * [`inst`] — the decoded instruction form ([`Inst`], [`Opcode`]) that the
+//!   pipeline, active lists, and recycling datapath operate on.
+//! * [`encode`] / [`disasm`] — 32-bit binary encoding and textual
+//!   disassembly, used by the assembler in `multipath-workload` and by the
+//!   fetch stage (instruction memory stores encoded words).
+//!
+//! # Examples
+//!
+//! ```
+//! use multipath_isa::{Inst, IntReg, Opcode};
+//!
+//! // r3 = r1 + r2
+//! let add = Inst::rrr(Opcode::Add, IntReg::R3, IntReg::R1, IntReg::R2);
+//! let word = add.encode();
+//! assert_eq!(Inst::decode(word), Some(add));
+//! assert_eq!(add.to_string(), "add r3, r1, r2");
+//! ```
+
+pub mod disasm;
+pub mod encode;
+pub mod inst;
+pub mod reg;
+
+pub use inst::{FuClass, Inst, MemWidth, Opcode, OperandClass};
+pub use reg::names as regs;
+pub use reg::{FpReg, IntReg, Reg, NUM_FP_REGS, NUM_INT_REGS, NUM_LOGICAL_REGS};
+
+/// Size of one encoded instruction in bytes.
+pub const INST_BYTES: u64 = 4;

@@ -1,0 +1,307 @@
+//! Logical register names.
+//!
+//! The ISA has 32 integer registers (`r0`–`r31`, with `r31` hardwired to
+//! zero, as on Alpha) and 32 floating-point registers (`f0`–`f31`, with
+//! `f31` hardwired to +0.0). The unified [`Reg`] type gives every logical
+//! register a dense index in `0..64`, which the renaming hardware in
+//! `multipath-core` uses to address its per-context map regions and the
+//! written-bit array used for reuse detection.
+
+use std::fmt;
+
+/// Number of integer logical registers.
+pub const NUM_INT_REGS: usize = 32;
+/// Number of floating-point logical registers.
+pub const NUM_FP_REGS: usize = 32;
+/// Total logical registers per context (integer + floating point).
+pub const NUM_LOGICAL_REGS: usize = NUM_INT_REGS + NUM_FP_REGS;
+
+/// An integer logical register, `r0`–`r31`.
+///
+/// `r31` ([`IntReg::ZERO`]) always reads as zero and writes to it are
+/// discarded. By software convention `r26` ([`IntReg::RA`]) holds return
+/// addresses and `r30` ([`IntReg::SP`]) the stack pointer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IntReg(u8);
+
+impl IntReg {
+    /// The hardwired zero register, `r31`.
+    pub const ZERO: IntReg = IntReg(31);
+    /// The conventional return-address register, `r26`.
+    pub const RA: IntReg = IntReg(26);
+    /// The conventional stack pointer, `r30`.
+    pub const SP: IntReg = IntReg(30);
+
+    /// Creates an integer register from its number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub fn new(n: u8) -> IntReg {
+        assert!(n < NUM_INT_REGS as u8, "integer register {n} out of range");
+        IntReg(n)
+    }
+
+    /// Shorthand constructors `R0..=R30` live on the type for assembler use.
+    pub const fn const_new(n: u8) -> IntReg {
+        assert!(n < 32);
+        IntReg(n)
+    }
+
+    /// The register number, `0..32`.
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the hardwired zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 31
+    }
+}
+
+macro_rules! int_reg_consts {
+    ($($name:ident = $n:expr),* $(,)?) => {
+        impl IntReg {
+            $(
+                #[doc = concat!("Integer register r", stringify!($n), ".")]
+                pub const $name: IntReg = IntReg::const_new($n);
+            )*
+        }
+    };
+}
+
+int_reg_consts! {
+    R0 = 0, R1 = 1, R2 = 2, R3 = 3, R4 = 4, R5 = 5, R6 = 6, R7 = 7,
+    R8 = 8, R9 = 9, R10 = 10, R11 = 11, R12 = 12, R13 = 13, R14 = 14,
+    R15 = 15, R16 = 16, R17 = 17, R18 = 18, R19 = 19, R20 = 20, R21 = 21,
+    R22 = 22, R23 = 23, R24 = 24, R25 = 25, R26 = 26, R27 = 27, R28 = 28,
+    R29 = 29, R30 = 30, R31 = 31,
+}
+
+impl fmt::Display for IntReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A floating-point logical register, `f0`–`f31`.
+///
+/// `f31` ([`FpReg::ZERO`]) always reads as +0.0 and writes to it are
+/// discarded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FpReg(u8);
+
+impl FpReg {
+    /// The hardwired zero register, `f31`.
+    pub const ZERO: FpReg = FpReg(31);
+
+    /// Creates a floating-point register from its number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub fn new(n: u8) -> FpReg {
+        assert!(n < NUM_FP_REGS as u8, "fp register {n} out of range");
+        FpReg(n)
+    }
+
+    /// `const` constructor for assembler tables.
+    pub const fn const_new(n: u8) -> FpReg {
+        assert!(n < 32);
+        FpReg(n)
+    }
+
+    /// The register number, `0..32`.
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the hardwired zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 31
+    }
+}
+
+macro_rules! fp_reg_consts {
+    ($($name:ident = $n:expr),* $(,)?) => {
+        impl FpReg {
+            $(
+                #[doc = concat!("Floating-point register f", stringify!($n), ".")]
+                pub const $name: FpReg = FpReg::const_new($n);
+            )*
+        }
+    };
+}
+
+fp_reg_consts! {
+    F0 = 0, F1 = 1, F2 = 2, F3 = 3, F4 = 4, F5 = 5, F6 = 6, F7 = 7,
+    F8 = 8, F9 = 9, F10 = 10, F11 = 11, F12 = 12, F13 = 13, F14 = 14,
+    F15 = 15, F16 = 16, F17 = 17, F18 = 18, F19 = 19, F20 = 20, F21 = 21,
+    F22 = 22, F23 = 23, F24 = 24, F25 = 25, F26 = 26, F27 = 27, F28 = 28,
+    F29 = 29, F30 = 30, F31 = 31,
+}
+
+impl fmt::Display for FpReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// A logical register of either file, with a dense unified index.
+///
+/// Integer registers map to indices `0..32` and floating-point registers to
+/// `32..64`. The renaming map regions and the written-bit array in
+/// `multipath-core` are indexed by [`Reg::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Reg {
+    /// An integer register.
+    Int(IntReg),
+    /// A floating-point register.
+    Fp(FpReg),
+}
+
+impl Reg {
+    /// The dense unified index in `0..NUM_LOGICAL_REGS`.
+    pub fn index(self) -> usize {
+        match self {
+            Reg::Int(r) => r.number() as usize,
+            Reg::Fp(r) => NUM_INT_REGS + r.number() as usize,
+        }
+    }
+
+    /// Reconstructs a register from its dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_LOGICAL_REGS`.
+    pub fn from_index(index: usize) -> Reg {
+        assert!(index < NUM_LOGICAL_REGS, "register index {index} out of range");
+        if index < NUM_INT_REGS {
+            Reg::Int(IntReg::new(index as u8))
+        } else {
+            Reg::Fp(FpReg::new((index - NUM_INT_REGS) as u8))
+        }
+    }
+
+    /// Whether this register is hardwired to zero (`r31` or `f31`).
+    pub fn is_zero(self) -> bool {
+        match self {
+            Reg::Int(r) => r.is_zero(),
+            Reg::Fp(r) => r.is_zero(),
+        }
+    }
+
+    /// Whether this is an integer register.
+    pub fn is_int(self) -> bool {
+        matches!(self, Reg::Int(_))
+    }
+}
+
+impl From<IntReg> for Reg {
+    fn from(r: IntReg) -> Reg {
+        Reg::Int(r)
+    }
+}
+
+impl From<FpReg> for Reg {
+    fn from(r: FpReg) -> Reg {
+        Reg::Fp(r)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reg::Int(r) => r.fmt(f),
+            Reg::Fp(r) => r.fmt(f),
+        }
+    }
+}
+
+/// Bare register names for assembler-style code.
+///
+/// `use multipath_isa::regs::*;` brings `R0..R31` and `F0..F31` into scope
+/// as free constants, which keeps hand-written kernels readable.
+pub mod names {
+    use super::{FpReg, IntReg};
+
+    macro_rules! bare_names {
+        ($ty:ident : $($name:ident = $n:expr),* $(,)?) => {
+            $(
+                #[doc = concat!("Register ", stringify!($name), ".")]
+                pub const $name: $ty = $ty::const_new($n);
+            )*
+        };
+    }
+
+    bare_names! { IntReg:
+        R0 = 0, R1 = 1, R2 = 2, R3 = 3, R4 = 4, R5 = 5, R6 = 6, R7 = 7,
+        R8 = 8, R9 = 9, R10 = 10, R11 = 11, R12 = 12, R13 = 13, R14 = 14,
+        R15 = 15, R16 = 16, R17 = 17, R18 = 18, R19 = 19, R20 = 20,
+        R21 = 21, R22 = 22, R23 = 23, R24 = 24, R25 = 25, R26 = 26,
+        R27 = 27, R28 = 28, R29 = 29, R30 = 30, R31 = 31,
+    }
+
+    bare_names! { FpReg:
+        F0 = 0, F1 = 1, F2 = 2, F3 = 3, F4 = 4, F5 = 5, F6 = 6, F7 = 7,
+        F8 = 8, F9 = 9, F10 = 10, F11 = 11, F12 = 12, F13 = 13, F14 = 14,
+        F15 = 15, F16 = 16, F17 = 17, F18 = 18, F19 = 19, F20 = 20,
+        F21 = 21, F22 = 22, F23 = 23, F24 = 24, F25 = 25, F26 = 26,
+        F27 = 27, F28 = 28, F29 = 29, F30 = 30, F31 = 31,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_reg_numbers_round_trip() {
+        for n in 0..32 {
+            assert_eq!(IntReg::new(n).number(), n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn int_reg_out_of_range_panics() {
+        IntReg::new(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fp_reg_out_of_range_panics() {
+        FpReg::new(32);
+    }
+
+    #[test]
+    fn zero_registers() {
+        assert!(IntReg::ZERO.is_zero());
+        assert!(FpReg::ZERO.is_zero());
+        assert!(!IntReg::R0.is_zero());
+        assert!(Reg::Int(IntReg::ZERO).is_zero());
+        assert!(Reg::Fp(FpReg::ZERO).is_zero());
+    }
+
+    #[test]
+    fn unified_index_is_dense_and_invertible() {
+        for i in 0..NUM_LOGICAL_REGS {
+            assert_eq!(Reg::from_index(i).index(), i);
+        }
+        assert_eq!(Reg::Int(IntReg::R5).index(), 5);
+        assert_eq!(Reg::Fp(FpReg::F5).index(), 37);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(IntReg::R17.to_string(), "r17");
+        assert_eq!(FpReg::F3.to_string(), "f3");
+        assert_eq!(Reg::Int(IntReg::SP).to_string(), "r30");
+    }
+
+    #[test]
+    fn conventions() {
+        assert_eq!(IntReg::RA.number(), 26);
+        assert_eq!(IntReg::SP.number(), 30);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests: the binary encoding round-trips every representable
+//! instruction, and decode never panics on arbitrary words.
+
+use multipath_isa::{FpReg, Inst, IntReg, Opcode, OperandClass};
+use proptest::prelude::*;
+
+fn arb_int_reg() -> impl Strategy<Value = IntReg> {
+    (0u8..32).prop_map(IntReg::new)
+}
+
+fn arb_fp_reg() -> impl Strategy<Value = FpReg> {
+    (0u8..32).prop_map(FpReg::new)
+}
+
+fn arb_opcode() -> impl Strategy<Value = Opcode> {
+    prop::sample::select(Opcode::ALL.to_vec())
+}
+
+/// Builds an arbitrary *valid* instruction for a given opcode.
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    (
+        arb_opcode(),
+        arb_int_reg(),
+        arb_int_reg(),
+        arb_int_reg(),
+        arb_fp_reg(),
+        arb_fp_reg(),
+        arb_fp_reg(),
+        any::<i16>(),
+        -(1i32 << 20)..(1i32 << 20),
+    )
+        .prop_map(|(op, ra, rb, rc, fa, fb, fc, imm16, disp)| {
+            match op.operand_class() {
+                OperandClass::Rrr => Inst::rrr(op, rc, ra, rb),
+                OperandClass::Rri => Inst::rri(op, rc, ra, imm16),
+                OperandClass::Mem => match op {
+                    Opcode::Ldt => Inst::fload(fa, imm16, rb),
+                    Opcode::Stt => Inst::fstore(fa, imm16, rb),
+                    _ if op.is_load() => Inst::load(op, ra, imm16, rb),
+                    _ => Inst::store(op, ra, imm16, rb),
+                },
+                OperandClass::CondBr => Inst::cond_branch(op, ra, disp),
+                OperandClass::Br => match op {
+                    Opcode::Jsr => Inst::call(disp),
+                    _ => Inst::branch(disp),
+                },
+                OperandClass::Jump => match op {
+                    Opcode::Ret => Inst::ret(ra),
+                    _ => Inst::jump(ra),
+                },
+                OperandClass::Fp => Inst::fp(op, fc, fa, fb),
+                OperandClass::FpCmp => Inst::fp_cmp(op, rc, fa, fb),
+                OperandClass::Cvt => match op {
+                    Opcode::Cvtqt => Inst::cvtqt(fa, ra),
+                    _ => Inst::cvttq(ra, fa),
+                },
+                OperandClass::None => match op {
+                    Opcode::Halt => Inst::halt(),
+                    _ => Inst::nop(),
+                },
+            }
+        })
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_round_trips(inst in arb_inst()) {
+        let word = inst.encode();
+        prop_assert_eq!(Inst::decode(word), Some(inst));
+    }
+
+    #[test]
+    fn decode_never_panics(word in any::<u32>()) {
+        // Either a valid instruction or None; both re-encode stably.
+        if let Some(inst) = Inst::decode(word) {
+            let reencoded = inst.encode();
+            prop_assert_eq!(Inst::decode(reencoded), Some(inst));
+        }
+    }
+
+    #[test]
+    fn display_never_panics(inst in arb_inst()) {
+        let s = inst.to_string();
+        prop_assert!(!s.is_empty());
+        prop_assert!(s.starts_with(inst.op.mnemonic()));
+    }
+}

@@ -1,0 +1,319 @@
+//! Timing-only set-associative cache with banking.
+
+use crate::Asid;
+
+/// Geometry and banking of one cache level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Line size in bytes (64 in the paper).
+    pub line_bytes: usize,
+    /// Associativity (1 = direct-mapped).
+    pub ways: usize,
+    /// Number of banks; simultaneous accesses to one bank serialise.
+    pub banks: usize,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    pub fn num_sets(&self) -> usize {
+        self.size_bytes / self.line_bytes / self.ways
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    /// Tag combines the address tag with the ASID so co-scheduled programs
+    /// never alias.
+    tag: u64,
+    valid: bool,
+    lru: u64,
+}
+
+const INVALID: Line = Line { tag: 0, valid: false, lru: 0 };
+
+/// A set-associative, LRU, banked cache model (tags only — data lives in
+/// [`crate::Memory`]).
+///
+/// Banking models throughput: each bank can begin one access per cycle;
+/// an access finding its bank busy is delayed until the bank frees. The
+/// paper's on-chip caches are 8-way banked.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    lines: Vec<Line>,
+    bank_busy_until: Vec<u64>,
+    set_mask: u64,
+    line_shift: u32,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    bank_conflicts: u64,
+}
+
+/// How an access behaves when its bank is busy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BankPolicy {
+    /// Wait in line: the access reserves the slot after the queue drains
+    /// (data-side accesses, which cannot be replayed by the pipeline).
+    Queue,
+    /// Bounce: the access is rejected and the requester retries later
+    /// (instruction fetch, which simply stalls the thread). A rejected
+    /// probe reserves nothing — re-reserving on every retry would let the
+    /// bank's queue run away from real time.
+    Reject,
+}
+
+/// Result of a tag probe: whether it hit and how long the bank made us wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Probe {
+    /// Tag-array hit? (Meaningless when `accepted` is false.)
+    pub hit: bool,
+    /// Cycles of delay due to bank contention (0 when the bank was free).
+    pub bank_delay: u64,
+    /// Whether the access actually happened this cycle. Always true under
+    /// [`BankPolicy::Queue`]; under [`BankPolicy::Reject`] a busy bank
+    /// bounces the access and the caller must retry after `bank_delay`.
+    pub accepted: bool,
+}
+
+impl Cache {
+    /// Builds a cache from its geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes are not powers of two or the geometry is
+    /// inconsistent.
+    pub fn new(config: CacheConfig) -> Cache {
+        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(config.banks.is_power_of_two(), "bank count must be a power of two");
+        assert!(config.ways > 0, "associativity must be positive");
+        let num_sets = config.num_sets();
+        assert!(
+            num_sets > 0 && num_sets.is_power_of_two(),
+            "set count must be a positive power of two (size={} line={} ways={})",
+            config.size_bytes,
+            config.line_bytes,
+            config.ways
+        );
+        Cache {
+            lines: vec![INVALID; num_sets * config.ways],
+            bank_busy_until: vec![0; config.banks],
+            set_mask: (num_sets - 1) as u64,
+            line_shift: config.line_bytes.trailing_zeros(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            bank_conflicts: 0,
+            config,
+        }
+    }
+
+    fn set_of(&self, asid: Asid, addr: u64) -> usize {
+        // Programs are loaded at identical *virtual* addresses; an OS maps
+        // them to distinct physical pages. Folding the ASID into the index
+        // models that — without it, co-scheduled programs would alias
+        // set-for-set and thrash a direct-mapped cache pathologically.
+        (((addr >> self.line_shift) ^ (asid.0 as u64).wrapping_mul(0x9e37)) & self.set_mask)
+            as usize
+    }
+
+    fn tag_of(&self, asid: Asid, addr: u64) -> u64 {
+        // Fold the ASID into the tag's top bits; simulated programs use
+        // well under 2^48 of address space.
+        ((addr >> self.line_shift) >> self.set_mask.count_ones()) | ((asid.0 as u64) << 48)
+    }
+
+    fn bank_of(&self, addr: u64) -> usize {
+        ((addr >> self.line_shift) as usize) & (self.config.banks - 1)
+    }
+
+    /// Probes the tags for `addr` at time `now`, accounting bank occupancy
+    /// per `policy`, and updates LRU/fills on miss (the line is brought in;
+    /// latency of the fill is the hierarchy's concern).
+    pub fn access(&mut self, asid: Asid, addr: u64, now: u64, policy: BankPolicy) -> Probe {
+        let bank = self.bank_of(addr);
+        let free_at = self.bank_busy_until[bank];
+        if free_at > now {
+            self.bank_conflicts += 1;
+            match policy {
+                BankPolicy::Reject => {
+                    // Bounced: no tag access, no reservation.
+                    return Probe { hit: false, bank_delay: free_at - now, accepted: false };
+                }
+                BankPolicy::Queue => {
+                    let bank_delay = free_at - now;
+                    self.bank_busy_until[bank] = free_at + 1;
+                    return self.finish_probe(asid, addr, bank_delay);
+                }
+            }
+        }
+        self.bank_busy_until[bank] = now + 1;
+        self.finish_probe(asid, addr, 0)
+    }
+
+    fn finish_probe(&mut self, asid: Asid, addr: u64, bank_delay: u64) -> Probe {
+        self.clock += 1;
+        let hit = self.touch(asid, addr);
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        Probe { hit, bank_delay, accepted: true }
+    }
+
+    /// Tag probe + LRU update + fill-on-miss, with no timing side effects.
+    /// Returns whether it was a hit.
+    fn touch(&mut self, asid: Asid, addr: u64) -> bool {
+        let set = self.set_of(asid, addr);
+        let tag = self.tag_of(asid, addr);
+        let ways = self.config.ways;
+        let clock = self.clock;
+        let base = set * ways;
+        let set_lines = &mut self.lines[base..base + ways];
+        if let Some(line) = set_lines.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = clock;
+            return true;
+        }
+        // Miss: fill into the invalid or LRU way.
+        let victim = set_lines
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| if l.valid { l.lru } else { 0 })
+            .map(|(i, _)| i)
+            .expect("ways > 0");
+        set_lines[victim] = Line { tag, valid: true, lru: clock };
+        false
+    }
+
+    /// Whether `addr` is currently resident (no LRU/timing side effects).
+    pub fn contains(&self, asid: Asid, addr: u64) -> bool {
+        let set = self.set_of(asid, addr);
+        let tag = self.tag_of(asid, addr);
+        let base = set * self.config.ways;
+        self.lines[base..base + self.config.ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidates every line (e.g. between independent simulations).
+    pub fn flush(&mut self) {
+        self.lines.fill(INVALID);
+        self.bank_busy_until.fill(0);
+    }
+
+    /// The geometry this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// (hits, misses, bank conflicts) since construction.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.bank_conflicts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    trait TestAccess {
+        fn access_q(&mut self, asid: Asid, addr: u64, now: u64) -> Probe;
+    }
+    impl TestAccess for Cache {
+        fn access_q(&mut self, asid: Asid, addr: u64, now: u64) -> Probe {
+            self.access(asid, addr, now, BankPolicy::Queue)
+        }
+    }
+
+    fn small() -> Cache {
+        // 1KB, 64B lines, 2-way, 2 banks → 8 sets.
+        Cache::new(CacheConfig { size_bytes: 1024, line_bytes: 64, ways: 2, banks: 2 })
+    }
+
+    #[test]
+    fn geometry() {
+        let c = small();
+        assert_eq!(c.config().num_sets(), 8);
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small();
+        let a = Asid(0);
+        assert!(!c.access_q(a, 0x1000, 0).hit);
+        assert!(c.access_q(a, 0x1000, 10).hit);
+        // Same line, different offset → still a hit.
+        assert!(c.access_q(a, 0x103f, 20).hit);
+        // Next line → miss.
+        assert!(!c.access_q(a, 0x1040, 30).hit);
+    }
+
+    #[test]
+    fn asid_disambiguates() {
+        let mut c = small();
+        assert!(!c.access_q(Asid(0), 0x1000, 0).hit);
+        assert!(!c.access_q(Asid(1), 0x1000, 10).hit, "other program's line must not hit");
+        assert!(c.access_q(Asid(0), 0x1000, 20).hit);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut c = small();
+        let a = Asid(0);
+        // Three lines mapping to the same set (set stride = 8 sets * 64B = 512B).
+        c.access_q(a, 0x0000, 0);
+        c.access_q(a, 0x0200, 1);
+        c.access_q(a, 0x0000, 2); // touch first so 0x0200 is LRU
+        c.access_q(a, 0x0400, 3); // evicts 0x0200
+        assert!(c.contains(a, 0x0000));
+        assert!(!c.contains(a, 0x0200));
+        assert!(c.contains(a, 0x0400));
+    }
+
+    #[test]
+    fn bank_conflict_delays_second_access() {
+        let mut c = small();
+        let a = Asid(0);
+        // Lines 0 and 2 share bank 0 (2 banks, bank = line & 1).
+        let p1 = c.access_q(a, 0x0000, 100);
+        assert_eq!(p1.bank_delay, 0);
+        let p2 = c.access_q(a, 0x0080, 100); // line index 2 → bank 0, same cycle
+        assert_eq!(p2.bank_delay, 1);
+        // Different bank, same cycle: no delay.
+        let p3 = c.access_q(a, 0x0040, 100); // line index 1 → bank 1
+        assert_eq!(p3.bank_delay, 0);
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut c = small();
+        c.access_q(Asid(0), 0x1000, 0);
+        assert!(c.contains(Asid(0), 0x1000));
+        c.flush();
+        assert!(!c.contains(Asid(0), 0x1000));
+    }
+
+    #[test]
+    fn direct_mapped_conflicts() {
+        // 512B direct-mapped, 64B lines → 8 sets.
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 512,
+            line_bytes: 64,
+            ways: 1,
+            banks: 1,
+        });
+        let a = Asid(0);
+        c.access_q(a, 0x0000, 0);
+        c.access_q(a, 0x0200, 1); // same set, evicts
+        assert!(!c.contains(a, 0x0000));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_rejected() {
+        Cache::new(CacheConfig { size_bytes: 1024, line_bytes: 48, ways: 2, banks: 1 });
+    }
+}

@@ -1,0 +1,297 @@
+//! The three-level memory hierarchy of the simulated machine.
+
+use crate::cache::{BankPolicy, Cache, CacheConfig};
+use crate::Asid;
+
+/// Latencies and geometries for the full hierarchy.
+///
+/// Defaults come from the paper's Section 4.1: 64KB direct-mapped L1
+/// instruction and data caches, 256KB 4-way L2, 4MB off-chip L3, all with
+/// 64-byte lines; on-chip caches 8-way banked; conflict-free miss penalties
+/// of 6 cycles to L2, another 12 to L3, and another 62 to memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// L1 instruction cache geometry.
+    pub l1i: CacheConfig,
+    /// L1 data cache geometry.
+    pub l1d: CacheConfig,
+    /// Unified L2 geometry.
+    pub l2: CacheConfig,
+    /// Off-chip L3 geometry.
+    pub l3: CacheConfig,
+    /// Extra cycles on an L1 miss that hits in L2.
+    pub l2_penalty: u64,
+    /// Extra cycles on an L2 miss that hits in L3.
+    pub l3_penalty: u64,
+    /// Extra cycles on an L3 miss (DRAM access).
+    pub memory_penalty: u64,
+}
+
+impl HierarchyConfig {
+    /// The paper's baseline hierarchy (the "big" machine).
+    pub fn baseline() -> HierarchyConfig {
+        HierarchyConfig {
+            l1i: CacheConfig { size_bytes: 64 << 10, line_bytes: 64, ways: 1, banks: 8 },
+            l1d: CacheConfig { size_bytes: 64 << 10, line_bytes: 64, ways: 1, banks: 8 },
+            l2: CacheConfig { size_bytes: 256 << 10, line_bytes: 64, ways: 4, banks: 8 },
+            l3: CacheConfig { size_bytes: 4 << 20, line_bytes: 64, ways: 1, banks: 1 },
+            l2_penalty: 6,
+            l3_penalty: 12,
+            memory_penalty: 62,
+        }
+    }
+
+    /// The "small" machine of Section 5.3: half the cache sizes.
+    pub fn small() -> HierarchyConfig {
+        let mut c = HierarchyConfig::baseline();
+        c.l1i.size_bytes /= 2;
+        c.l1d.size_bytes /= 2;
+        c.l2.size_bytes /= 2;
+        c.l3.size_bytes /= 2;
+        c
+    }
+}
+
+/// Where an access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HitLevel {
+    /// L1 hit.
+    L1,
+    /// L1 miss, L2 hit.
+    L2,
+    /// L2 miss, L3 hit.
+    L3,
+    /// Full miss to DRAM.
+    Memory,
+}
+
+/// The timing outcome of one access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Cycle the access was initiated.
+    pub issued_at: u64,
+    /// Cycle the data is available.
+    pub ready_at: u64,
+    /// Which level satisfied it.
+    pub level: HitLevel,
+    /// The request bounced off a busy bank: nothing happened; retry at
+    /// `ready_at`. Only instruction fetches bounce (see
+    /// [`MemoryHierarchy::inst_access`]).
+    pub bounced: bool,
+}
+
+impl AccessResult {
+    /// Total added latency in cycles (0 for a conflict-free L1 hit).
+    pub fn latency(&self) -> u64 {
+        self.ready_at - self.issued_at
+    }
+}
+
+/// Aggregate hierarchy statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HierarchyStats {
+    /// Instruction-fetch accesses and L1I misses.
+    pub inst_accesses: u64,
+    /// L1I misses.
+    pub inst_misses: u64,
+    /// Data accesses and L1D misses.
+    pub data_accesses: u64,
+    /// L1D misses.
+    pub data_misses: u64,
+    /// Accesses that went all the way to DRAM.
+    pub memory_accesses: u64,
+}
+
+/// A three-level cache hierarchy with banked on-chip caches.
+///
+/// Inclusive fills: a miss installs the line at every level it traversed.
+/// Timing composes the per-level penalties with L1 bank-conflict delays;
+/// deeper-level bank contention is folded into the fixed penalties, as the
+/// paper models throughput "at all levels" but reports only the
+/// conflict-free figures.
+#[derive(Debug, Clone)]
+pub struct MemoryHierarchy {
+    config: HierarchyConfig,
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    l3: Cache,
+    stats: HierarchyStats,
+}
+
+impl MemoryHierarchy {
+    /// Builds the hierarchy.
+    pub fn new(config: HierarchyConfig) -> MemoryHierarchy {
+        MemoryHierarchy {
+            l1i: Cache::new(config.l1i.clone()),
+            l1d: Cache::new(config.l1d.clone()),
+            l2: Cache::new(config.l2.clone()),
+            l3: Cache::new(config.l3.clone()),
+            stats: HierarchyStats::default(),
+            config,
+        }
+    }
+
+    /// An instruction fetch of the line containing `addr` at cycle `now`.
+    ///
+    /// A busy L1I bank bounces the request: the result then carries only
+    /// the retry delay (level reported as [`HitLevel::L1`]) and the fetch
+    /// unit stalls and retries — a bounced probe reserves nothing.
+    pub fn inst_access(&mut self, asid: Asid, addr: u64, now: u64) -> AccessResult {
+        let probe = self.l1i.access(asid, addr, now, BankPolicy::Reject);
+        if !probe.accepted {
+            return AccessResult {
+                issued_at: now,
+                ready_at: now + probe.bank_delay,
+                level: HitLevel::L1,
+                bounced: true,
+            };
+        }
+        self.stats.inst_accesses += 1;
+        if !probe.hit {
+            self.stats.inst_misses += 1;
+        }
+        self.complete(asid, addr, now, probe.hit, probe.bank_delay)
+    }
+
+    /// A data access (load or store) at cycle `now`.
+    ///
+    /// Stores are write-allocate/write-back, so they probe identically;
+    /// `is_store` only affects statistics today but keeps the API honest
+    /// for policy extensions.
+    pub fn data_access(&mut self, asid: Asid, addr: u64, is_store: bool, now: u64) -> AccessResult {
+        let _ = is_store;
+        self.stats.data_accesses += 1;
+        let probe = self.l1d.access(asid, addr, now, BankPolicy::Queue);
+        if !probe.hit {
+            self.stats.data_misses += 1;
+        }
+        self.complete(asid, addr, now, probe.hit, probe.bank_delay)
+    }
+
+    fn complete(
+        &mut self,
+        asid: Asid,
+        addr: u64,
+        now: u64,
+        l1_hit: bool,
+        bank_delay: u64,
+    ) -> AccessResult {
+        let mut latency = bank_delay;
+        let level = if l1_hit {
+            HitLevel::L1
+        } else {
+            latency += self.config.l2_penalty;
+            let l2 = self.l2.access(asid, addr, now + latency, BankPolicy::Queue);
+            latency += l2.bank_delay;
+            if l2.hit {
+                HitLevel::L2
+            } else {
+                latency += self.config.l3_penalty;
+                let l3 = self.l3.access(asid, addr, now + latency, BankPolicy::Queue);
+                latency += l3.bank_delay;
+                if l3.hit {
+                    HitLevel::L3
+                } else {
+                    self.stats.memory_accesses += 1;
+                    latency += self.config.memory_penalty;
+                    HitLevel::Memory
+                }
+            }
+        };
+        AccessResult { issued_at: now, ready_at: now + latency, level, bounced: false }
+    }
+
+    /// Statistics since construction.
+    pub fn stats(&self) -> HierarchyStats {
+        self.stats
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+
+    /// Invalidates all levels (between independent simulation runs).
+    pub fn flush(&mut self) {
+        self.l1i.flush();
+        self.l1d.flush();
+        self.l2.flush();
+        self.l3.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_access_pays_full_penalty() {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::baseline());
+        let r = h.data_access(Asid(0), 0x1000, false, 0);
+        assert_eq!(r.level, HitLevel::Memory);
+        assert_eq!(r.latency(), 6 + 12 + 62);
+    }
+
+    #[test]
+    fn warm_access_is_l1_hit() {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::baseline());
+        let cold = h.data_access(Asid(0), 0x1000, false, 0);
+        let warm = h.data_access(Asid(0), 0x1000, false, cold.ready_at);
+        assert_eq!(warm.level, HitLevel::L1);
+        assert_eq!(warm.latency(), 0);
+    }
+
+    #[test]
+    fn l1_eviction_falls_back_to_l2() {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::baseline());
+        let a = Asid(0);
+        h.data_access(a, 0x0, false, 0);
+        // 64KB direct-mapped L1: +64KB aliases to the same set and evicts.
+        h.data_access(a, 64 << 10, false, 200);
+        let r = h.data_access(a, 0x0, false, 400);
+        assert_eq!(r.level, HitLevel::L2);
+        assert_eq!(r.latency(), 6);
+    }
+
+    #[test]
+    fn inst_and_data_l1_are_separate() {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::baseline());
+        let a = Asid(0);
+        h.inst_access(a, 0x1000, 0);
+        // The line is now in L1I and L2/L3; a *data* access misses L1D but
+        // hits L2.
+        let r = h.data_access(a, 0x1000, false, 200);
+        assert_eq!(r.level, HitLevel::L2);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::baseline());
+        h.inst_access(Asid(0), 0x0, 0);
+        h.data_access(Asid(0), 0x0, true, 100);
+        h.data_access(Asid(0), 0x0, false, 300);
+        let s = h.stats();
+        assert_eq!(s.inst_accesses, 1);
+        assert_eq!(s.inst_misses, 1);
+        assert_eq!(s.data_accesses, 2);
+        assert_eq!(s.data_misses, 1);
+        assert_eq!(s.memory_accesses, 1); // L2/L3 filled by the inst access
+    }
+
+    #[test]
+    fn small_machine_has_half_capacity() {
+        let c = HierarchyConfig::small();
+        assert_eq!(c.l1d.size_bytes, 32 << 10);
+        assert_eq!(c.l2.size_bytes, 128 << 10);
+        let _ = MemoryHierarchy::new(c); // geometry still valid
+    }
+
+    #[test]
+    fn programs_contend_but_do_not_alias() {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::baseline());
+        h.data_access(Asid(0), 0x1000, false, 0);
+        let other = h.data_access(Asid(1), 0x1000, false, 200);
+        assert_ne!(other.level, HitLevel::L1, "different ASID must not hit");
+    }
+}

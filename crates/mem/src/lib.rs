@@ -1,0 +1,48 @@
+//! Memory substrate for the `multipath` simulator.
+//!
+//! Two orthogonal concerns, matching how execution-driven simulators are
+//! built:
+//!
+//! * **Functional state** — [`Memory`] is a sparse, paged, byte-addressable
+//!   64-bit address space. Each simulated program owns one (separate address
+//!   spaces, as separate SPEC95 processes had). Values read/written here are
+//!   architecturally real; speculative stores are buffered in the pipeline's
+//!   store queues and only reach [`Memory`] at commit.
+//! * **Timing** — [`Cache`] models tags, LRU and bank occupancy only (no
+//!   data; the functional state lives in [`Memory`]), and
+//!   [`MemoryHierarchy`] stacks three levels with the paper's latencies:
+//!   64KB direct-mapped L1 I/D, 256KB 4-way L2, 4MB L3, 64-byte lines,
+//!   8-way banked on chip, miss penalties 6 (L2), +12 (L3), +62 (memory).
+//!
+//! Multiple programs share the caches; lines are disambiguated by an
+//! address-space identifier ([`Asid`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use multipath_mem::{Asid, HierarchyConfig, Memory, MemoryHierarchy};
+//!
+//! let mut mem = Memory::new();
+//! mem.write_u64(0x1000, 42);
+//! assert_eq!(mem.read_u64(0x1000), 42);
+//!
+//! let mut hier = MemoryHierarchy::new(HierarchyConfig::baseline());
+//! let asid = Asid(0);
+//! let cold = hier.data_access(asid, 0x1000, false, 0);
+//! let warm = hier.data_access(asid, 0x1000, false, cold.ready_at);
+//! assert!(cold.latency() > warm.latency());
+//! ```
+
+pub mod cache;
+pub mod hierarchy;
+pub mod memory;
+
+pub use cache::{Cache, CacheConfig};
+pub use hierarchy::{AccessResult, HierarchyConfig, HierarchyStats, MemoryHierarchy};
+pub use memory::Memory;
+
+/// An address-space identifier: which simulated program an access belongs
+/// to. Caches tag lines with it so co-scheduled programs contend for
+/// capacity without aliasing each other's data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Asid(pub u16);

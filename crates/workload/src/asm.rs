@@ -1,0 +1,518 @@
+//! A label-based assembler DSL.
+//!
+//! Kernels are written against [`Assembler`]'s mnemonic methods; forward
+//! references are expressed with string labels and resolved at
+//! [`Assembler::assemble`] time. The emitted image is a `Vec<u32>` of
+//! encoded words ready to be placed at the requested base address.
+//!
+//! # Examples
+//!
+//! ```
+//! use multipath_workload::Assembler;
+//! use multipath_isa::regs::*;
+//!
+//! let mut a = Assembler::new();
+//! a.li(R1, 10);
+//! a.label("loop");
+//! a.subi(R1, R1, 1);
+//! a.bne(R1, "loop");
+//! a.halt();
+//! let text = a.assemble(0x1_0000).unwrap();
+//! assert!(text.len() >= 4);
+//! ```
+
+use multipath_isa::{FpReg, Inst, IntReg, Opcode, INST_BYTES};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors produced at assembly time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A branch references a label that was never defined.
+    UndefinedLabel(String),
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// A resolved displacement does not fit the 21-bit branch field.
+    DisplacementOverflow {
+        /// The offending label.
+        label: String,
+        /// The displacement in instructions.
+        displacement: i64,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmError::DisplacementOverflow { label, displacement } => {
+                write!(f, "branch to `{label}` displacement {displacement} exceeds 21 bits")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// One yet-unresolved item in the instruction stream.
+#[derive(Debug, Clone)]
+enum Item {
+    /// A fully formed instruction.
+    Ready(Inst),
+    /// A conditional branch to a label.
+    CondBr(Opcode, IntReg, String),
+    /// An unconditional branch to a label.
+    Br(String),
+    /// A call to a label.
+    Jsr(String),
+}
+
+/// A two-pass assembler with label resolution.
+///
+/// Instruction-emitting methods are named after mnemonics; every method
+/// appends exactly one instruction except [`Assembler::li`], which may emit
+/// one or two (wide constants need `ldih` + `lda`).
+#[derive(Debug, Clone, Default)]
+pub struct Assembler {
+    items: Vec<Item>,
+    labels: HashMap<String, usize>,
+}
+
+impl Assembler {
+    /// Creates an empty assembler.
+    pub fn new() -> Assembler {
+        Assembler::default()
+    }
+
+    /// Defines `name` at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate definition (a kernel-authoring bug).
+    pub fn label(&mut self, name: &str) {
+        let prev = self.labels.insert(name.to_owned(), self.items.len());
+        assert!(prev.is_none(), "duplicate label `{name}`");
+    }
+
+    /// Appends an already-formed instruction.
+    pub fn inst(&mut self, inst: Inst) {
+        self.items.push(Item::Ready(inst));
+    }
+
+    /// Number of instructions emitted so far (labels excluded).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Resolves labels and encodes the image based at `base`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError`] for undefined labels or displacement overflow.
+    pub fn assemble(&self, base: u64) -> Result<Vec<u32>, AsmError> {
+        let resolve = |label: &str, at: usize| -> Result<i32, AsmError> {
+            let target = *self
+                .labels
+                .get(label)
+                .ok_or_else(|| AsmError::UndefinedLabel(label.to_owned()))?;
+            // Displacement is relative to the *next* instruction.
+            let disp = target as i64 - (at as i64 + 1);
+            if !(-(1 << 20)..(1 << 20)).contains(&disp) {
+                return Err(AsmError::DisplacementOverflow {
+                    label: label.to_owned(),
+                    displacement: disp,
+                });
+            }
+            Ok(disp as i32)
+        };
+        let _ = base; // PC-relative encoding is position-independent.
+        self.items
+            .iter()
+            .enumerate()
+            .map(|(at, item)| {
+                let inst = match item {
+                    Item::Ready(i) => *i,
+                    Item::CondBr(op, ra, label) => {
+                        Inst::cond_branch(*op, *ra, resolve(label, at)?)
+                    }
+                    Item::Br(label) => Inst::branch(resolve(label, at)?),
+                    Item::Jsr(label) => Inst::call(resolve(label, at)?),
+                };
+                Ok(inst.encode())
+            })
+            .collect()
+    }
+
+    /// The resolved address a label will have when based at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is undefined.
+    pub fn address_of(&self, label: &str, base: u64) -> u64 {
+        let idx = *self.labels.get(label).unwrap_or_else(|| panic!("undefined label `{label}`"));
+        base + idx as u64 * INST_BYTES
+    }
+}
+
+// ------------------------------------------------------------------
+// Mnemonic methods. Grouped to mirror the opcode table.
+// ------------------------------------------------------------------
+
+macro_rules! rrr_methods {
+    ($($name:ident => $op:ident),* $(,)?) => {
+        impl Assembler {
+            $(
+                #[doc = concat!("`", stringify!($name), " rc, ra, rb`")]
+                pub fn $name(&mut self, rc: IntReg, ra: IntReg, rb: IntReg) {
+                    self.inst(Inst::rrr(Opcode::$op, rc, ra, rb));
+                }
+            )*
+        }
+    };
+}
+
+rrr_methods! {
+    add => Add, sub => Sub, mul => Mul, and => And, or => Or, xor => Xor,
+    sll => Sll, srl => Srl, sra => Sra,
+    cmpeq => Cmpeq, cmplt => Cmplt, cmple => Cmple, cmpult => Cmpult,
+}
+
+macro_rules! rri_methods {
+    ($($name:ident => $op:ident),* $(,)?) => {
+        impl Assembler {
+            $(
+                #[doc = concat!("`", stringify!($name), " rc, ra, #imm`")]
+                pub fn $name(&mut self, rc: IntReg, ra: IntReg, imm: i16) {
+                    self.inst(Inst::rri(Opcode::$op, rc, ra, imm));
+                }
+            )*
+        }
+    };
+}
+
+rri_methods! {
+    addi => Addi, subi => Subi, muli => Muli, andi => Andi, ori => Ori,
+    xori => Xori, slli => Slli, srli => Srli, srai => Srai,
+    cmpeqi => Cmpeqi, cmplti => Cmplti, cmplei => Cmplei, cmpulti => Cmpulti,
+    lda => Lda, ldih => Ldih,
+}
+
+macro_rules! mem_methods {
+    ($($name:ident => $op:ident / $kind:ident),* $(,)?) => {
+        impl Assembler {
+            $(
+                #[doc = concat!("`", stringify!($name), " ra, disp(rb)`")]
+                pub fn $name(&mut self, ra: IntReg, disp: i16, rb: IntReg) {
+                    self.inst(Inst::$kind(Opcode::$op, ra, disp, rb));
+                }
+            )*
+        }
+    };
+}
+
+mem_methods! {
+    ldq => Ldq / load, ldl => Ldl / load, ldbu => Ldbu / load,
+    stq => Stq / store, stl => Stl / store, stb => Stb / store,
+}
+
+macro_rules! fp_methods {
+    ($($name:ident => $op:ident),* $(,)?) => {
+        impl Assembler {
+            $(
+                #[doc = concat!("`", stringify!($name), " fc, fa, fb`")]
+                pub fn $name(&mut self, fc: FpReg, fa: FpReg, fb: FpReg) {
+                    self.inst(Inst::fp(Opcode::$op, fc, fa, fb));
+                }
+            )*
+        }
+    };
+}
+
+fp_methods! { addt => Addt, subt => Subt, mult => Mult, divt => Divt }
+
+macro_rules! condbr_methods {
+    ($($name:ident => $op:ident),* $(,)?) => {
+        impl Assembler {
+            $(
+                #[doc = concat!("`", stringify!($name), " ra, label`")]
+                pub fn $name(&mut self, ra: IntReg, label: &str) {
+                    self.items.push(Item::CondBr(Opcode::$op, ra, label.to_owned()));
+                }
+            )*
+        }
+    };
+}
+
+condbr_methods! {
+    beq => Beq, bne => Bne, blt => Blt, ble => Ble, bgt => Bgt, bge => Bge,
+}
+
+impl Assembler {
+    /// `ldt fa, disp(rb)` — floating-point load.
+    pub fn ldt(&mut self, fa: FpReg, disp: i16, rb: IntReg) {
+        self.inst(Inst::fload(fa, disp, rb));
+    }
+
+    /// `stt fa, disp(rb)` — floating-point store.
+    pub fn stt(&mut self, fa: FpReg, disp: i16, rb: IntReg) {
+        self.inst(Inst::fstore(fa, disp, rb));
+    }
+
+    /// `cmptlt rc, fa, fb`.
+    pub fn cmptlt(&mut self, rc: IntReg, fa: FpReg, fb: FpReg) {
+        self.inst(Inst::fp_cmp(Opcode::Cmptlt, rc, fa, fb));
+    }
+
+    /// `cmpteq rc, fa, fb`.
+    pub fn cmpteq(&mut self, rc: IntReg, fa: FpReg, fb: FpReg) {
+        self.inst(Inst::fp_cmp(Opcode::Cmpteq, rc, fa, fb));
+    }
+
+    /// `cmptle rc, fa, fb`.
+    pub fn cmptle(&mut self, rc: IntReg, fa: FpReg, fb: FpReg) {
+        self.inst(Inst::fp_cmp(Opcode::Cmptle, rc, fa, fb));
+    }
+
+    /// `cvtqt fc, ra` — integer to double.
+    pub fn cvtqt(&mut self, fc: FpReg, ra: IntReg) {
+        self.inst(Inst::cvtqt(fc, ra));
+    }
+
+    /// `cvttq rc, fa` — double to integer (truncating).
+    pub fn cvttq(&mut self, rc: IntReg, fa: FpReg) {
+        self.inst(Inst::cvttq(rc, fa));
+    }
+
+    /// `br label` — unconditional branch.
+    pub fn br(&mut self, label: &str) {
+        self.items.push(Item::Br(label.to_owned()));
+    }
+
+    /// `jsr label` — call, linking the return address into `r26`.
+    pub fn jsr(&mut self, label: &str) {
+        self.items.push(Item::Jsr(label.to_owned()));
+    }
+
+    /// `ret (r26)` — return through the link register.
+    pub fn ret(&mut self) {
+        self.inst(Inst::ret(IntReg::RA));
+    }
+
+    /// `jmp (rb)` — indirect jump.
+    pub fn jmp(&mut self, rb: IntReg) {
+        self.inst(Inst::jump(rb));
+    }
+
+    /// `nop`.
+    pub fn nop(&mut self) {
+        self.inst(Inst::nop());
+    }
+
+    /// `halt`.
+    pub fn halt(&mut self) {
+        self.inst(Inst::halt());
+    }
+
+    /// `mov rc, ra` (encoded as `or rc, ra, r31`).
+    pub fn mov(&mut self, rc: IntReg, ra: IntReg) {
+        self.or(rc, ra, IntReg::ZERO);
+    }
+
+    /// Loads a signed 32-bit constant, emitting one or two instructions
+    /// (`lda` alone for values that fit 16 bits, otherwise `ldih` + `lda`
+    /// with the usual sign-carry adjustment).
+    ///
+    /// # Panics
+    ///
+    /// Panics for values whose sign-carry-adjusted high half does not fit
+    /// 16 bits (the range `0x7fff_8000..=0x7fff_ffff`), exactly as on
+    /// Alpha, where such constants need a third instruction. Kernel
+    /// addresses and constants are far below this.
+    pub fn li(&mut self, rc: IntReg, value: i32) {
+        let lo = value as i16;
+        let hi64 = (value as i64 - lo as i64) >> 16;
+        let hi = i16::try_from(hi64)
+            .unwrap_or_else(|_| panic!("li({value:#x}) needs a 3-instruction sequence"));
+        if hi != 0 {
+            self.ldih(rc, IntReg::ZERO, hi);
+            if lo != 0 {
+                self.lda(rc, rc, lo);
+            }
+        } else {
+            self.lda(rc, IntReg::ZERO, lo);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multipath_isa::regs::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Assembler::new();
+        a.label("top");
+        a.addi(R1, R1, 1);
+        a.bne(R1, "skip");
+        a.br("top");
+        a.label("skip");
+        a.halt();
+        let text = a.assemble(0x1000).unwrap();
+        // bne at index 1: target index 3 → disp = 3 - 2 = 1.
+        let bne = Inst::decode(text[1]).unwrap();
+        assert_eq!(bne.imm, 1);
+        // br at index 2: target index 0 → disp = 0 - 3 = -3.
+        let br = Inst::decode(text[2]).unwrap();
+        assert_eq!(br.imm, -3);
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let mut a = Assembler::new();
+        a.br("nowhere");
+        assert_eq!(
+            a.assemble(0).unwrap_err(),
+            AsmError::UndefinedLabel("nowhere".to_owned())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate label")]
+    fn duplicate_label_panics() {
+        let mut a = Assembler::new();
+        a.label("x");
+        a.label("x");
+    }
+
+    #[test]
+    fn li_small_constant_is_one_inst() {
+        let mut a = Assembler::new();
+        a.li(R1, 100);
+        assert_eq!(a.len(), 1);
+        a.li(R2, -5);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn li_wide_constant_reconstructs_value() {
+        // Verify the ldih/lda pair reconstructs tricky values by symbolic
+        // evaluation: value = (hi << 16) + sign_extend(lo).
+        for &v in &[0x10_0000i32, 0x7fff_7fff, -0x10_0000, 0x1_8000, 0xffff, -0x8000] {
+            let mut a = Assembler::new();
+            a.li(R1, v);
+            let text = a.assemble(0).unwrap();
+            let mut acc: i64 = 0;
+            for w in text {
+                let i = Inst::decode(w).unwrap();
+                match i.op {
+                    Opcode::Ldih => acc += (i.imm as i64) << 16,
+                    Opcode::Lda => acc += i.imm as i64,
+                    other => panic!("unexpected {other}"),
+                }
+            }
+            assert_eq!(acc, v as i64, "li({v:#x})");
+        }
+    }
+
+    #[test]
+    fn address_of_accounts_for_base() {
+        let mut a = Assembler::new();
+        a.nop();
+        a.label("here");
+        a.nop();
+        assert_eq!(a.address_of("here", 0x1_0000), 0x1_0004);
+    }
+
+    #[test]
+    fn mov_is_or_with_zero() {
+        let mut a = Assembler::new();
+        a.mov(R1, R2);
+        let text = a.assemble(0).unwrap();
+        let i = Inst::decode(text[0]).unwrap();
+        assert_eq!(i.op, Opcode::Or);
+        assert_eq!(i.src2, Some(IntReg::ZERO.into()));
+    }
+}
+
+#[cfg(test)]
+mod li_overflow_tests {
+    use super::*;
+    use multipath_isa::regs::*;
+
+    #[test]
+    #[should_panic(expected = "3-instruction")]
+    fn li_unrepresentable_panics() {
+        Assembler::new().li(R1, 0x7fff_ffff);
+    }
+}
+
+#[cfg(test)]
+mod error_display_tests {
+    use super::*;
+    use multipath_isa::regs::*;
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert_eq!(
+            AsmError::UndefinedLabel("x".into()).to_string(),
+            "undefined label `x`"
+        );
+        assert_eq!(
+            AsmError::DuplicateLabel("y".into()).to_string(),
+            "duplicate label `y`"
+        );
+        let overflow =
+            AsmError::DisplacementOverflow { label: "far".into(), displacement: 1 << 21 };
+        assert!(overflow.to_string().contains("far"));
+        assert!(overflow.to_string().contains("21 bits"));
+    }
+
+    #[test]
+    fn jsr_and_br_resolve_like_cond_branches() {
+        let mut a = Assembler::new();
+        a.jsr("f");
+        a.br("f");
+        a.label("f");
+        a.ret();
+        let text = a.assemble(0).unwrap();
+        let jsr = multipath_isa::Inst::decode(text[0]).unwrap();
+        let br = multipath_isa::Inst::decode(text[1]).unwrap();
+        assert_eq!(jsr.imm, 1); // target idx 2, next idx 1
+        assert_eq!(br.imm, 0);
+    }
+
+    #[test]
+    fn len_and_is_empty_track_items() {
+        let mut a = Assembler::new();
+        assert!(a.is_empty());
+        a.nop();
+        a.label("here"); // labels are not instructions
+        a.nop();
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn fp_mnemonics_assemble() {
+        let mut a = Assembler::new();
+        a.addt(F1, F2, F3);
+        a.subt(F1, F2, F3);
+        a.mult(F1, F2, F3);
+        a.divt(F1, F2, F3);
+        a.cmpteq(R1, F2, F3);
+        a.cmptle(R1, F2, F3);
+        a.cvtqt(F1, R2);
+        a.cvttq(R1, F2);
+        a.ldt(F4, 8, R5);
+        a.stt(F4, 8, R5);
+        a.jmp(R7);
+        assert_eq!(a.assemble(0).unwrap().len(), 11);
+    }
+}

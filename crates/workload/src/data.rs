@@ -1,0 +1,205 @@
+//! Deterministic data-segment construction.
+//!
+//! Kernels need initial data whose *contents* drive their hard-to-predict
+//! branches (data-dependent conditions are what defeat a gshare predictor
+//! and trigger TME forking). [`SplitMix64`] provides a tiny, seedable,
+//! dependency-free generator; [`DataBuilder`] lays out arrays in a data
+//! segment and remembers their addresses by name.
+
+use crate::program::DataSegment;
+use std::collections::HashMap;
+
+/// SplitMix64: a fast, high-quality 64-bit mixer (Steele et al.).
+///
+/// Used instead of `rand` inside workload construction so that program
+/// images are bit-stable across `rand` versions — experiment
+/// reproducibility depends on it.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A value uniform in `0..bound` (`bound > 0`).
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// A double uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// `true` with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+/// Lays out named arrays in a single contiguous data segment.
+///
+/// # Examples
+///
+/// ```
+/// use multipath_workload::{DataBuilder, SplitMix64};
+///
+/// let mut rng = SplitMix64::new(7);
+/// let mut d = DataBuilder::new(0x10_0000);
+/// let tbl = d.u64_array("table", (0..16).map(|_| rng.next_u64()));
+/// assert_eq!(tbl, 0x10_0000);
+/// assert_eq!(d.address_of("table"), tbl);
+/// let seg = d.build();
+/// assert_eq!(seg.bytes.len(), 16 * 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DataBuilder {
+    base: u64,
+    bytes: Vec<u8>,
+    names: HashMap<String, u64>,
+}
+
+impl DataBuilder {
+    /// Starts a segment at `base`.
+    pub fn new(base: u64) -> DataBuilder {
+        DataBuilder { base, bytes: Vec::new(), names: HashMap::new() }
+    }
+
+    fn align(&mut self, alignment: usize) {
+        while !self.bytes.len().is_multiple_of(alignment) {
+            self.bytes.push(0);
+        }
+    }
+
+    fn here(&self) -> u64 {
+        self.base + self.bytes.len() as u64
+    }
+
+    fn record(&mut self, name: &str, addr: u64) {
+        let prev = self.names.insert(name.to_owned(), addr);
+        assert!(prev.is_none(), "duplicate data name `{name}`");
+    }
+
+    /// Appends an 8-byte-aligned array of u64s; returns its address.
+    pub fn u64_array<I: IntoIterator<Item = u64>>(&mut self, name: &str, values: I) -> u64 {
+        self.align(8);
+        let addr = self.here();
+        self.record(name, addr);
+        for v in values {
+            self.bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        addr
+    }
+
+    /// Appends an 8-byte-aligned array of doubles; returns its address.
+    pub fn f64_array<I: IntoIterator<Item = f64>>(&mut self, name: &str, values: I) -> u64 {
+        self.align(8);
+        let addr = self.here();
+        self.record(name, addr);
+        for v in values {
+            self.bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        addr
+    }
+
+    /// Appends a byte array; returns its address.
+    pub fn byte_array<I: IntoIterator<Item = u8>>(&mut self, name: &str, values: I) -> u64 {
+        let addr = self.here();
+        self.record(name, addr);
+        self.bytes.extend(values);
+        addr
+    }
+
+    /// Appends `count` zeroed u64 slots (8-byte aligned); returns address.
+    pub fn zeros_u64(&mut self, name: &str, count: usize) -> u64 {
+        self.u64_array(name, std::iter::repeat_n(0, count))
+    }
+
+    /// Address of a previously laid-out array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` was never laid out.
+    pub fn address_of(&self, name: &str) -> u64 {
+        *self.names.get(name).unwrap_or_else(|| panic!("unknown data name `{name}`"))
+    }
+
+    /// Finishes the segment.
+    pub fn build(self) -> DataSegment {
+        DataSegment { base: self.base, bytes: self.bytes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(1);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn splitmix_seeds_differ() {
+        assert_ne!(SplitMix64::new(1).next_u64(), SplitMix64::new(2).next_u64());
+    }
+
+    #[test]
+    fn chance_is_calibrated() {
+        let mut rng = SplitMix64::new(99);
+        let hits = (0..10_000).filter(|_| rng.chance(0.3)).count();
+        assert!((2700..3300).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn builder_layout_is_contiguous_and_aligned() {
+        let mut d = DataBuilder::new(0x1000);
+        d.byte_array("b", [1, 2, 3]);
+        let a = d.u64_array("q", [42]);
+        assert_eq!(a % 8, 0);
+        assert_eq!(a, 0x1008); // 3 bytes + 5 padding
+        let seg = d.build();
+        assert_eq!(&seg.bytes[..3], &[1, 2, 3]);
+        assert_eq!(seg.bytes[8], 42);
+    }
+
+    #[test]
+    fn f64_round_trips_through_bytes() {
+        let mut d = DataBuilder::new(0);
+        d.f64_array("x", [1.5, -2.25]);
+        let seg = d.build();
+        let v = f64::from_bits(u64::from_le_bytes(seg.bytes[0..8].try_into().unwrap()));
+        assert_eq!(v, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown data name")]
+    fn unknown_name_panics() {
+        DataBuilder::new(0).address_of("nope");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate data name")]
+    fn duplicate_name_panics() {
+        let mut d = DataBuilder::new(0);
+        d.zeros_u64("x", 1);
+        d.zeros_u64("x", 1);
+    }
+}

@@ -1,0 +1,125 @@
+//! `compress` proxy: an LZW-style hash/dictionary loop.
+//!
+//! Personality: a dictionary compressor's main loop — per input byte, a
+//! hash probe with a data-dependent hit/miss hammock, a chain-extension
+//! check, and periodic output flushing. The loop body processes two input
+//! bytes (≈55 instructions) with four distinct data-dependent branch
+//! sites of differing bias, so several low-confidence branch sites are
+//! live at once, as in the real program. Short hammocks that re-merge
+//! within a few instructions make this the suite's best recycling and
+//! reuse candidate (paper Table 1).
+
+use crate::asm::Assembler;
+use crate::data::{DataBuilder, SplitMix64};
+use crate::program::Program;
+use multipath_isa::regs::*;
+
+const INPUT_LEN: usize = 4096;
+const TABLE_SLOTS: usize = 1024;
+
+pub(crate) fn build(seed: u64) -> Program {
+    let mut rng = SplitMix64::new(seed ^ 0xc0c0_0001);
+    let mut data = DataBuilder::new(crate::DATA_BASE);
+    data.byte_array("input", (0..INPUT_LEN).map(|_| rng.next_u64() as u8));
+    data.u64_array("table", (0..TABLE_SLOTS).map(|_| rng.next_u64()));
+    data.zeros_u64("output", 512);
+
+    let input = data.address_of("input") as i32;
+    let table = data.address_of("table") as i32;
+    let output = data.address_of("output") as i32;
+
+    let mut a = Assembler::new();
+    // r16=input, r17=table, r18=output, r2=index, r7=prev code,
+    // r13=emit count, r20=checksum.
+    a.li(R16, input);
+    a.li(R17, table);
+    a.li(R18, output);
+    a.li(R2, 0);
+    a.li(R7, 0);
+    a.li(R13, 0);
+    a.li(R20, 0);
+
+    a.label("outer");
+    a.li(R3, 128); // inner trip count (predictable back edge)
+
+    a.label("inner");
+    // ---- byte 1: hash probe with hit/miss hammock (~35% taken) ----
+    a.andi(R4, R2, 4095);
+    a.add(R5, R16, R4);
+    a.ldbu(R6, 0, R5);
+    a.muli(R8, R6, 31);
+    a.add(R8, R8, R7);
+    a.andi(R8, R8, (TABLE_SLOTS - 1) as i16);
+    a.slli(R9, R8, 3);
+    a.add(R9, R17, R9);
+    a.ldq(R10, 0, R9);
+    a.andi(R11, R10, 255);
+    a.cmpulti(R12, R11, 50);
+    a.bne(R12, "hit1");
+    // miss: install a new code, emit prev, reset chain.
+    a.xor(R14, R10, R6);
+    a.stq(R14, 0, R9);
+    a.andi(R15, R13, 511);
+    a.slli(R15, R15, 3);
+    a.add(R15, R18, R15);
+    a.stq(R7, 0, R15);
+    a.addi(R13, R13, 1);
+    a.mov(R7, R6);
+    a.br("join1");
+    a.label("hit1");
+    // hit: extend the chain.
+    a.srli(R14, R10, 8);
+    a.add(R7, R14, R6);
+    a.andi(R7, R7, 4095);
+    a.label("join1");
+
+    // ---- byte 2: second probe site with different bias (~55% taken) ----
+    a.addi(R4, R4, 1);
+    a.andi(R4, R4, 4095);
+    a.add(R5, R16, R4);
+    a.ldbu(R6, 0, R5);
+    a.slli(R8, R7, 2);
+    a.xor(R8, R8, R6);
+    a.andi(R8, R8, (TABLE_SLOTS - 1) as i16);
+    a.slli(R9, R8, 3);
+    a.add(R9, R17, R9);
+    a.ldq(R10, 0, R9);
+    a.srli(R11, R10, 16);
+    a.andi(R11, R11, 255);
+    a.cmpulti(R12, R11, 210);
+    a.beq(R12, "miss2");
+    // hit: fold into the running chain.
+    a.add(R7, R7, R11);
+    a.andi(R7, R7, 4095);
+    a.xor(R20, R20, R10);
+    a.br("join2");
+    a.label("miss2");
+    a.addi(R14, R10, 1);
+    a.stq(R14, 0, R9);
+    a.add(R20, R20, R6);
+    a.label("join2");
+
+    // ---- code-width overflow check (~12% taken) ----
+    a.andi(R14, R10, 15);
+    a.cmpulti(R15, R14, 2);
+    a.beq(R15, "no_flush");
+    a.li(R7, 0);
+    a.addi(R13, R13, 1);
+    a.label("no_flush");
+
+    // ---- ratio check: occasionally restart the dictionary (~6%) ----
+    a.andi(R14, R20, 15);
+    a.bne(R14, "no_reset");
+    a.andi(R15, R20, 7);
+    a.cmpulti(R15, R15, 3);
+    a.beq(R15, "no_reset");
+    a.srli(R20, R20, 1);
+    a.label("no_reset");
+
+    a.addi(R2, R2, 2);
+    a.subi(R3, R3, 1);
+    a.bne(R3, "inner");
+    a.br("outer");
+
+    super::finish("compress", &a, data)
+}

@@ -1,0 +1,121 @@
+//! `gcc` proxy: a token-dispatch cascade with handler calls.
+//!
+//! Personality: a compiler front-end reads a token stream and dispatches
+//! through a compare cascade to per-token handlers, some of which call a
+//! shared "emit" routine. The token distribution is skewed (frequent
+//! tokens dominate) so the cascade's early branches are fairly predictable
+//! while the tail is not — moderate overall accuracy, medium-length
+//! hammocks, call/return traffic.
+
+use crate::asm::Assembler;
+use crate::data::{DataBuilder, SplitMix64};
+use crate::program::Program;
+use multipath_isa::regs::*;
+
+const TOKENS: usize = 4096;
+
+/// Skewed token kinds 0..6: roughly 55/20/10/6/4/3/2 percent.
+fn token(rng: &mut SplitMix64) -> u8 {
+    let r = rng.next_below(100);
+    match r {
+        0..=54 => 0,
+        55..=74 => 1,
+        75..=84 => 2,
+        85..=90 => 3,
+        91..=94 => 4,
+        95..=97 => 5,
+        _ => 6,
+    }
+}
+
+pub(crate) fn build(seed: u64) -> Program {
+    let mut rng = SplitMix64::new(seed ^ 0x6cc0_0002);
+    let mut data = DataBuilder::new(crate::DATA_BASE);
+    data.byte_array("tokens", (0..TOKENS).map(|_| token(&mut rng)));
+    data.zeros_u64("ir", 1024);
+
+    let tokens = data.address_of("tokens") as i32;
+    let ir = data.address_of("ir") as i32;
+
+    let mut a = Assembler::new();
+    // r16=tokens, r17=ir, r2=index, r7=ir cursor, r9=accumulator
+    a.li(R16, tokens);
+    a.li(R17, ir);
+    a.li(R30, crate::STACK_TOP as i32);
+    a.li(R2, 0);
+    a.li(R7, 0);
+    a.li(R9, 0);
+    a.br("outer");
+
+    // emit(r4: value) — appends to the IR buffer.
+    a.label("emit");
+    a.andi(R5, R7, 1023);
+    a.slli(R5, R5, 3);
+    a.add(R5, R17, R5);
+    a.stq(R4, 0, R5);
+    a.addi(R7, R7, 1);
+    a.ret();
+
+    a.label("outer");
+    a.li(R3, 512);
+
+    a.label("dispatch");
+    a.andi(R4, R2, (TOKENS - 1) as i16);
+    a.add(R5, R16, R4);
+    a.ldbu(R6, 0, R5); // token kind
+    // Compare cascade, frequent kinds first.
+    a.bne(R6, "not0");
+    // kind 0: identifier — hash it into the accumulator.
+    a.muli(R8, R9, 33);
+    a.xor(R9, R8, R6);
+    a.br("next");
+    a.label("not0");
+    a.cmpeqi(R8, R6, 1);
+    a.beq(R8, "not1");
+    // kind 1: literal — emit it.
+    a.add(R4, R9, R2);
+    a.jsr("emit");
+    a.br("next");
+    a.label("not1");
+    a.cmpeqi(R8, R6, 2);
+    a.beq(R8, "not2");
+    // kind 2: operator — fold.
+    a.slli(R10, R9, 1);
+    a.sub(R9, R10, R6);
+    a.br("next");
+    a.label("not2");
+    a.cmpeqi(R8, R6, 3);
+    a.beq(R8, "not3");
+    // kind 3: open scope — emit marker and bump.
+    a.li(R4, -1);
+    a.jsr("emit");
+    a.addi(R9, R9, 7);
+    a.br("next");
+    a.label("not3");
+    a.cmpeqi(R8, R6, 4);
+    a.beq(R8, "not4");
+    // kind 4: close scope.
+    a.srai(R9, R9, 1);
+    a.br("next");
+    a.label("not4");
+    a.cmpeqi(R8, R6, 5);
+    a.beq(R8, "rare");
+    // kind 5: keyword.
+    a.xori(R9, R9, 0x55);
+    a.br("next");
+    a.label("rare");
+    // kind 6: error path — longer fix-up sequence.
+    a.mov(R4, R9);
+    a.jsr("emit");
+    a.li(R9, 0);
+    a.addi(R9, R9, 13);
+    a.muli(R9, R9, 3);
+
+    a.label("next");
+    a.addi(R2, R2, 1);
+    a.subi(R3, R3, 1);
+    a.bne(R3, "dispatch");
+    a.br("outer");
+
+    super::finish("gcc", &a, data)
+}

@@ -1,0 +1,137 @@
+//! `go` proxy: board evaluation with nested data-dependent conditionals.
+//!
+//! Personality: game-tree position evaluation. The loop body examines two
+//! board points with *different* evaluation code (as a real evaluator's
+//! specialised pattern matchers do), nesting data-dependent branches two
+//! deep — eight distinct hard branch sites per iteration, the worst
+//! prediction behaviour of the suite and the workload TME was built for.
+
+use crate::asm::Assembler;
+use crate::data::{DataBuilder, SplitMix64};
+use crate::program::Program;
+use multipath_isa::regs::*;
+
+const BOARD: usize = 512; // padded 19x19 board, one byte per point
+
+pub(crate) fn build(seed: u64) -> Program {
+    let mut rng = SplitMix64::new(seed ^ 0x9009_0003);
+    let mut data = DataBuilder::new(crate::DATA_BASE);
+    // Cell states: 0 = empty (70%), 1 = black (15%), 2 = white (15%).
+    data.byte_array(
+        "board",
+        (0..BOARD).map(|_| match rng.next_below(20) {
+            0..=13 => 0u8,
+            14..=16 => 1,
+            _ => 2,
+        }),
+    );
+    data.zeros_u64("score", 64);
+
+    let board = data.address_of("board") as i32;
+    let score = data.address_of("score") as i32;
+
+    let mut a = Assembler::new();
+    // r16=board, r17=score, r2=position, r9=eval accumulator, r20=influence
+    a.li(R16, board);
+    a.li(R17, score);
+    a.li(R2, 0);
+    a.li(R9, 0);
+    a.li(R20, 0);
+
+    a.label("outer");
+    a.li(R3, 200);
+
+    a.label("point");
+    // ---- point A: territory evaluator ----
+    a.andi(R4, R2, (BOARD - 1) as i16);
+    a.add(R5, R16, R4);
+    a.ldbu(R6, 0, R5);
+    a.bne(R6, "a_occupied");
+    a.addi(R4, R4, 1);
+    a.andi(R4, R4, (BOARD - 1) as i16);
+    a.add(R5, R16, R4);
+    a.ldbu(R7, 0, R5);
+    a.cmpeqi(R8, R7, 1);
+    a.beq(R8, "a_white_side");
+    a.addi(R9, R9, 3);
+    a.br("a_join");
+    a.label("a_white_side");
+    a.subi(R9, R9, 3);
+    a.br("a_join");
+    a.label("a_occupied");
+    a.cmpeqi(R8, R6, 1);
+    a.beq(R8, "a_white_stone");
+    a.addi(R4, R4, 20);
+    a.andi(R4, R4, (BOARD - 1) as i16);
+    a.add(R5, R16, R4);
+    a.ldbu(R7, 0, R5);
+    a.bne(R7, "a_black_bound");
+    a.addi(R9, R9, 5);
+    a.br("a_join");
+    a.label("a_black_bound");
+    a.addi(R9, R9, 1);
+    a.br("a_join");
+    a.label("a_white_stone");
+    a.addi(R4, R4, 20);
+    a.andi(R4, R4, (BOARD - 1) as i16);
+    a.add(R5, R16, R4);
+    a.ldbu(R7, 0, R5);
+    a.bne(R7, "a_white_bound");
+    a.subi(R9, R9, 5);
+    a.br("a_join");
+    a.label("a_white_bound");
+    a.subi(R9, R9, 1);
+    a.label("a_join");
+
+    // ---- point B: influence evaluator (distinct code, different site) ----
+    a.addi(R10, R2, 37);
+    a.andi(R10, R10, (BOARD - 1) as i16);
+    a.add(R11, R16, R10);
+    a.ldbu(R12, 0, R11);
+    a.cmpeqi(R13, R12, 2);
+    a.bne(R13, "b_white");
+    // empty or black: diagonal scan
+    a.addi(R10, R10, 21);
+    a.andi(R10, R10, (BOARD - 1) as i16);
+    a.add(R11, R16, R10);
+    a.ldbu(R14, 0, R11);
+    a.add(R15, R12, R14);
+    a.cmpulti(R15, R15, 2);
+    a.beq(R15, "b_contested");
+    a.addi(R20, R20, 2);
+    a.br("b_join");
+    a.label("b_contested");
+    a.sub(R20, R20, R14);
+    a.br("b_join");
+    a.label("b_white");
+    // white stone: ladder check
+    a.addi(R10, R10, 19);
+    a.andi(R10, R10, (BOARD - 1) as i16);
+    a.add(R11, R16, R10);
+    a.ldbu(R14, 0, R11);
+    a.cmpeqi(R15, R14, 1);
+    a.beq(R15, "b_no_ladder");
+    a.slli(R14, R14, 1);
+    a.sub(R20, R20, R14);
+    a.br("b_join");
+    a.label("b_no_ladder");
+    a.subi(R20, R20, 1);
+    a.label("b_join");
+
+    // Occasionally record the running scores (biased, ~6% taken).
+    a.andi(R8, R2, 15);
+    a.bne(R8, "skip_store");
+    a.andi(R8, R2, 63);
+    a.srli(R8, R8, 4);
+    a.slli(R8, R8, 3);
+    a.add(R8, R17, R8);
+    a.stq(R9, 0, R8);
+    a.add(R9, R9, R20);
+    a.label("skip_store");
+    a.addi(R2, R2, 2);
+    a.subi(R3, R3, 1);
+    a.bne(R3, "point");
+    a.br("outer");
+
+    super::finish("go", &a, data)
+}

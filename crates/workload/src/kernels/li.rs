@@ -1,0 +1,100 @@
+//! `li` proxy: recursive traversal of cons-cell lists.
+//!
+//! Personality: a lisp interpreter's workload is dominated by recursive
+//! list walks — deep call/return chains (stressing the per-context return
+//! stack), tag-dependent branches whose outcome is a property of the data,
+//! and small pointer-chasing loads. The recursion is deliberately
+//! non-tail (post-processing after each return) so a real stack frame is
+//! live across every call.
+
+use crate::asm::Assembler;
+use crate::data::{DataBuilder, SplitMix64};
+use crate::program::Program;
+use multipath_isa::regs::*;
+
+const LISTS: usize = 32;
+const NODES_PER_LIST: usize = 16;
+const NODE_BYTES: u64 = 16; // [0]=tagged value, [8]=cdr
+
+pub(crate) fn build(seed: u64) -> Program {
+    let mut rng = SplitMix64::new(seed ^ 0x7157_0004);
+    let mut data = DataBuilder::new(crate::DATA_BASE);
+
+    // Lay out the node arena first so addresses are known, then the heads.
+    let nodes_base = crate::DATA_BASE;
+    let mut node_words = Vec::with_capacity(LISTS * NODES_PER_LIST * 2);
+    for list in 0..LISTS {
+        for i in 0..NODES_PER_LIST {
+            let node_index = list * NODES_PER_LIST + i;
+            // ~25% atoms carrying a value; the rest are structural cells.
+            let tagged = if rng.chance(0.25) {
+                (rng.next_below(1 << 20) << 1) | 1
+            } else {
+                rng.next_below(1 << 20) << 1
+            };
+            let cdr = if i + 1 < NODES_PER_LIST {
+                nodes_base + (node_index as u64 + 1) * NODE_BYTES
+            } else {
+                0 // nil
+            };
+            node_words.push(tagged);
+            node_words.push(cdr);
+        }
+    }
+    data.u64_array("nodes", node_words);
+    data.u64_array(
+        "heads",
+        (0..LISTS).map(|l| nodes_base + (l * NODES_PER_LIST) as u64 * NODE_BYTES),
+    );
+    assert_eq!(data.address_of("nodes"), nodes_base);
+
+    let heads = data.address_of("heads") as i32;
+
+    let mut a = Assembler::new();
+    // r16=heads, r30=SP, r2=list index, r9=accumulator, r4=current node.
+    a.li(R16, heads);
+    a.li(R30, crate::STACK_TOP as i32);
+    a.li(R9, 0);
+    a.br("outer");
+
+    // sum(r4 = node): recursively folds a list into r9.
+    a.label("sum");
+    a.beq(R4, "leaf");
+    a.subi(R30, R30, 16);
+    a.stq(R26, 0, R30);
+    a.stq(R4, 8, R30);
+    a.ldq(R5, 0, R4); // tagged value
+    a.andi(R6, R5, 1);
+    a.beq(R6, "not_atom"); // data-dependent: ~25% atoms
+    a.srai(R7, R5, 1);
+    a.add(R9, R9, R7);
+    a.br("get_cdr");
+    a.label("not_atom");
+    a.addi(R9, R9, 1);
+    a.label("get_cdr");
+    a.ldq(R4, 8, R4);
+    a.jsr("sum");
+    // Post-processing after the recursive call (forces real frames).
+    a.ldq(R4, 8, R30);
+    a.ldq(R5, 0, R4);
+    a.srai(R5, R5, 2);
+    a.xor(R9, R9, R5);
+    a.ldq(R26, 0, R30);
+    a.addi(R30, R30, 16);
+    a.label("leaf");
+    a.ret();
+
+    a.label("outer");
+    a.li(R2, 0);
+    a.label("lists");
+    a.slli(R5, R2, 3);
+    a.add(R5, R16, R5);
+    a.ldq(R4, 0, R5);
+    a.jsr("sum");
+    a.addi(R2, R2, 1);
+    a.cmpeqi(R8, R2, LISTS as i16);
+    a.beq(R8, "lists");
+    a.br("outer");
+
+    super::finish("li", &a, data)
+}

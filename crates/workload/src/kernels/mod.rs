@@ -1,0 +1,187 @@
+//! The eight SPEC95-proxy kernels.
+//!
+//! Each kernel is a hand-written program in the simulator's ISA whose
+//! control-flow personality is modelled on one of the paper's benchmarks
+//! (Section 4: compress, gcc, go, li, perl, su2cor, tomcatv, vortex). The
+//! properties that matter for TME and recycling are:
+//!
+//! * **Hard (data-dependent) branches** — loaded from seeded pseudo-random
+//!   data, so no history predictor can learn them. These are what the
+//!   confidence estimator flags and TME forks on.
+//! * **Hammocks** — if/else diamonds whose two sides re-merge: the shape
+//!   that makes an alternate path's trace recyclable the next time the
+//!   branch goes the other way.
+//! * **Loops smaller than an active list** — the shape backward-branch
+//!   (primary-to-primary) recycling exploits.
+//! * **Calls/returns, FP mix, and footprint** — per-benchmark flavour.
+//!
+//! All kernels loop forever; the simulator stops at a committed-instruction
+//! budget. Construction is deterministic in the seed.
+
+mod compress;
+mod gcc;
+mod go;
+mod li;
+mod perl;
+mod su2cor;
+mod tomcatv;
+mod vortex;
+
+use crate::program::Program;
+
+/// The eight benchmark proxies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Benchmark {
+    /// LZW-style hash/dictionary loop; short unpredictable hammocks, tight
+    /// loop — the paper's highest recycle and reuse rates.
+    Compress,
+    /// Token-dispatch cascade with handler calls; moderate predictability.
+    Gcc,
+    /// Board evaluation with nested data-dependent conditionals; the worst
+    /// branch behaviour of the suite.
+    Go,
+    /// Recursive list traversal; call/return heavy with tag-dependent
+    /// branches.
+    Li,
+    /// Bytecode-interpreter dispatch over a mostly periodic op stream; high
+    /// prediction accuracy.
+    Perl,
+    /// FP vector kernel with an unpredictable FP-compare hammock.
+    Su2cor,
+    /// Streaming FP mesh relaxation; near-perfect prediction, loop-dominated.
+    Tomcatv,
+    /// Object-graph pointer chasing with type dispatch and a large
+    /// footprint.
+    Vortex,
+}
+
+impl Benchmark {
+    /// All benchmarks, in the paper's listing order.
+    pub const ALL: [Benchmark; 8] = [
+        Benchmark::Compress,
+        Benchmark::Gcc,
+        Benchmark::Go,
+        Benchmark::Li,
+        Benchmark::Perl,
+        Benchmark::Su2cor,
+        Benchmark::Tomcatv,
+        Benchmark::Vortex,
+    ];
+
+    /// The benchmark's (paper) name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Compress => "compress",
+            Benchmark::Gcc => "gcc",
+            Benchmark::Go => "go",
+            Benchmark::Li => "li",
+            Benchmark::Perl => "perl",
+            Benchmark::Su2cor => "su2cor",
+            Benchmark::Tomcatv => "tomcatv",
+            Benchmark::Vortex => "vortex",
+        }
+    }
+
+    /// Whether the original benchmark is floating-point (su2cor, tomcatv).
+    pub fn is_fp(self) -> bool {
+        matches!(self, Benchmark::Su2cor | Benchmark::Tomcatv)
+    }
+
+    /// Parses a benchmark name.
+    pub fn from_name(name: &str) -> Option<Benchmark> {
+        Benchmark::ALL.iter().copied().find(|b| b.name() == name)
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Builds the proxy program for `bench`, deterministic in `seed`.
+pub fn build(bench: Benchmark, seed: u64) -> Program {
+    match bench {
+        Benchmark::Compress => compress::build(seed),
+        Benchmark::Gcc => gcc::build(seed),
+        Benchmark::Go => go::build(seed),
+        Benchmark::Li => li::build(seed),
+        Benchmark::Perl => perl::build(seed),
+        Benchmark::Su2cor => su2cor::build(seed),
+        Benchmark::Tomcatv => tomcatv::build(seed),
+        Benchmark::Vortex => vortex::build(seed),
+    }
+}
+
+/// Shared finishing step for kernel builders.
+pub(crate) fn finish(
+    name: &str,
+    asm: &crate::asm::Assembler,
+    data: crate::data::DataBuilder,
+) -> Program {
+    let text = asm
+        .assemble(crate::TEXT_BASE)
+        .unwrap_or_else(|e| panic!("kernel `{name}` failed to assemble: {e}"));
+    Program {
+        name: name.to_owned(),
+        text_base: crate::TEXT_BASE,
+        text,
+        data: vec![data.build()],
+        entry: crate::TEXT_BASE,
+        initial_sp: crate::STACK_TOP,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kernels_assemble() {
+        for b in Benchmark::ALL {
+            let p = build(b, 1);
+            assert!(!p.text.is_empty(), "{b} has no text");
+            assert_eq!(p.entry, p.text_base);
+            assert!(!p.data.is_empty(), "{b} has no data");
+            // Every word decodes.
+            for (i, &w) in p.text.iter().enumerate() {
+                assert!(
+                    multipath_isa::Inst::decode(w).is_some(),
+                    "{b} word {i} undecodable"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        for b in Benchmark::ALL {
+            assert_eq!(build(b, 7), build(b, 7), "{b} not deterministic");
+        }
+    }
+
+    #[test]
+    fn seeds_change_data_not_structure() {
+        for b in Benchmark::ALL {
+            let a = build(b, 1);
+            let c = build(b, 2);
+            assert_eq!(a.text, c.text, "{b} text should not depend on seed");
+            assert_ne!(a.data, c.data, "{b} data should depend on seed");
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for b in Benchmark::ALL {
+            assert_eq!(Benchmark::from_name(b.name()), Some(b));
+        }
+        assert_eq!(Benchmark::from_name("nope"), None);
+    }
+
+    #[test]
+    fn fp_classification() {
+        assert!(Benchmark::Su2cor.is_fp());
+        assert!(Benchmark::Tomcatv.is_fp());
+        assert!(!Benchmark::Gcc.is_fp());
+    }
+}

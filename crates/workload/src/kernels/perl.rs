@@ -1,0 +1,109 @@
+//! `perl` proxy: bytecode-interpreter dispatch over a mostly periodic
+//! op stream.
+//!
+//! Personality: interpreter loops have high branch counts but high
+//! predictability — the op sequence repeats, so a history-based predictor
+//! learns the dispatch cascade. A 5% random substitution keeps a residue
+//! of genuinely hard branches (perl shows 92% branch-miss coverage but
+//! only 9% of instructions recycled in the paper: forks are rare and
+//! paths are long).
+
+use crate::asm::Assembler;
+use crate::data::{DataBuilder, SplitMix64};
+use crate::program::Program;
+use multipath_isa::regs::*;
+
+const OPS: usize = 1024;
+const PATTERN: [u8; 12] = [0, 1, 2, 0, 1, 3, 0, 2, 1, 0, 4, 2];
+
+pub(crate) fn build(seed: u64) -> Program {
+    let mut rng = SplitMix64::new(seed ^ 0x9e71_0005);
+    let mut data = DataBuilder::new(crate::DATA_BASE);
+    data.byte_array(
+        "ops",
+        (0..OPS).map(|i| {
+            if rng.chance(0.05) {
+                rng.next_below(5) as u8
+            } else {
+                PATTERN[i % PATTERN.len()]
+            }
+        }),
+    );
+    data.byte_array("strbuf", (0..1024).map(|_| rng.next_u64() as u8));
+    data.zeros_u64("stack", 64);
+
+    let ops = data.address_of("ops") as i32;
+    let strbuf = data.address_of("strbuf") as i32;
+    let stack = data.address_of("stack") as i32;
+
+    let mut a = Assembler::new();
+    // r16=ops, r17=strbuf, r18=vm stack, r2=ip, r9=top of stack value,
+    // r10=string cursor.
+    a.li(R16, ops);
+    a.li(R17, strbuf);
+    a.li(R18, stack);
+    a.li(R2, 0);
+    a.li(R9, 0);
+    a.li(R10, 0);
+
+    a.label("outer");
+    a.li(R3, 512);
+
+    a.label("dispatch");
+    a.andi(R4, R2, (OPS - 1) as i16);
+    a.add(R5, R16, R4);
+    a.ldbu(R6, 0, R5);
+    a.bne(R6, "not_push");
+    // op 0: push constant.
+    a.andi(R7, R9, 63);
+    a.slli(R7, R7, 3);
+    a.add(R7, R18, R7);
+    a.stq(R9, 0, R7);
+    a.addi(R9, R9, 3);
+    a.br("next");
+    a.label("not_push");
+    a.cmpeqi(R7, R6, 1);
+    a.beq(R7, "not_add");
+    // op 1: add top-of-stack.
+    a.andi(R7, R9, 63);
+    a.slli(R7, R7, 3);
+    a.add(R7, R18, R7);
+    a.ldq(R8, 0, R7);
+    a.add(R9, R9, R8);
+    a.br("next");
+    a.label("not_add");
+    a.cmpeqi(R7, R6, 2);
+    a.beq(R7, "not_concat");
+    // op 2: string byte op.
+    a.andi(R7, R10, 1023);
+    a.add(R7, R17, R7);
+    a.ldbu(R8, 0, R7);
+    a.xor(R9, R9, R8);
+    a.stb(R9, 0, R7);
+    a.addi(R10, R10, 1);
+    a.br("next");
+    a.label("not_concat");
+    a.cmpeqi(R7, R6, 3);
+    a.beq(R7, "op_misc");
+    // op 3: match test — the interpreter's data-dependent branch.
+    a.andi(R8, R9, 7);
+    a.cmpulti(R8, R8, 1);
+    a.beq(R8, "no_match");
+    a.muli(R9, R9, 5);
+    a.br("next");
+    a.label("no_match");
+    a.addi(R9, R9, 1);
+    a.br("next");
+    a.label("op_misc");
+    // op 4: bookkeeping.
+    a.srli(R9, R9, 1);
+    a.xori(R9, R9, 0x2a);
+
+    a.label("next");
+    a.addi(R2, R2, 1);
+    a.subi(R3, R3, 1);
+    a.bne(R3, "dispatch");
+    a.br("outer");
+
+    super::finish("perl", &a, data)
+}

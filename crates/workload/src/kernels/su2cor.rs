@@ -1,0 +1,100 @@
+//! `su2cor` proxy: FP vector kernel with evolving-data FP hammocks.
+//!
+//! Personality: quantum-physics Monte Carlo — long FP multiply/add chains
+//! over vectors with data-dependent normalisation branches. The loop is
+//! unrolled two ways with *different* correction paths, so two distinct
+//! hard FP-compare sites are live per iteration. Branch conditions depend
+//! on accumulators that evolve across outer iterations and never settle
+//! into a learnable pattern; FP codes still fork usefully (78.5% miss
+//! coverage and a 32% recycle rate in the paper).
+
+use crate::asm::Assembler;
+use crate::data::{DataBuilder, SplitMix64};
+use crate::program::Program;
+use multipath_isa::regs::*;
+
+const VECTOR: usize = 64;
+
+pub(crate) fn build(seed: u64) -> Program {
+    let mut rng = SplitMix64::new(seed ^ 0x52c0_0006);
+    let mut data = DataBuilder::new(crate::DATA_BASE);
+    data.f64_array("a", (0..VECTOR).map(|_| rng.next_f64() * 2.0));
+    data.f64_array("b", (0..VECTOR).map(|_| rng.next_f64() * 2.0));
+    data.f64_array("c", (0..VECTOR).map(|_| rng.next_f64()));
+    // consts: [0]=0.99 decay, [1]=1.0 threshold, [2]=2.0 normaliser,
+    // [3]=0.7 second threshold.
+    data.f64_array("consts", [0.99, 1.0, 2.0, 0.7]);
+
+    let a_addr = data.address_of("a") as i32;
+    let b_addr = data.address_of("b") as i32;
+    let c_addr = data.address_of("c") as i32;
+    let consts = data.address_of("consts") as i32;
+
+    let mut a = Assembler::new();
+    // r17=A, r18=B, r19=C bases; f7=decay, f8=threshold, f9=normaliser,
+    // f10=second threshold.
+    a.li(R17, a_addr);
+    a.li(R18, b_addr);
+    a.li(R19, c_addr);
+    a.li(R20, consts);
+    a.ldt(F7, 0, R20);
+    a.ldt(F8, 8, R20);
+    a.ldt(F9, 16, R20);
+    a.ldt(F10, 24, R20);
+
+    a.label("outer");
+    a.mov(R4, R17);
+    a.mov(R5, R18);
+    a.mov(R6, R19);
+    a.li(R3, (VECTOR / 2) as i32);
+
+    a.label("inner");
+    // ---- element 0: product + decay with normalisation hammock ----
+    a.ldt(F1, 0, R4);
+    a.ldt(F2, 0, R5);
+    a.mult(F3, F1, F2);
+    a.ldt(F4, 0, R6);
+    a.mult(F4, F4, F7);
+    a.addt(F3, F3, F4);
+    a.stt(F3, 0, R6);
+    a.cmptlt(R8, F3, F8);
+    a.bne(R8, "small0");
+    a.divt(F3, F3, F9);
+    a.stt(F3, 0, R6);
+    a.br("cont0");
+    a.label("small0");
+    a.addt(F3, F3, F4);
+    a.stt(F3, 0, R6);
+    a.label("cont0");
+
+    // ---- element 1: contractive update with a different threshold site;
+    // the iterate hovers around the threshold, so the branch never
+    // becomes predictable ----
+    a.ldt(F1, 8, R4);
+    a.ldt(F2, 8, R5);
+    a.subt(F5, F1, F2);
+    a.ldt(F4, 8, R6);
+    a.mult(F4, F4, F7);
+    a.addt(F5, F5, F4);
+    a.divt(F5, F5, F9); // halve: keeps the iterate bounded near zero
+    a.stt(F5, 8, R6);
+    a.cmptle(R8, F5, F10);
+    a.bne(R8, "small1");
+    a.subt(F5, F5, F10);
+    a.stt(F5, 8, R6);
+    a.br("cont1");
+    a.label("small1");
+    a.mult(F6, F2, F8);
+    a.addt(F5, F5, F6);
+    a.stt(F5, 8, R6);
+    a.label("cont1");
+
+    a.addi(R4, R4, 16);
+    a.addi(R5, R5, 16);
+    a.addi(R6, R6, 16);
+    a.subi(R3, R3, 1);
+    a.bne(R3, "inner");
+    a.br("outer");
+
+    super::finish("su2cor", &a, data)
+}

@@ -1,0 +1,80 @@
+//! `tomcatv` proxy: streaming FP mesh relaxation.
+//!
+//! Personality: vectorisable mesh smoothing — long, perfectly predictable
+//! inner loops of FP multiply/adds over streaming arrays, with only a rare
+//! biased convergence check. The inner loop is unrolled four ways (as the
+//! compiled original is), so its ~70-instruction body slightly exceeds a
+//! 64-entry active list: backward-branch recycling covers it only
+//! partially, matching the paper's modest (≈25%) recycle rate for
+//! tomcatv. Almost no TME forking happens (3.5% miss coverage in the
+//! paper).
+
+use crate::asm::Assembler;
+use crate::data::{DataBuilder, SplitMix64};
+use crate::program::Program;
+use multipath_isa::regs::*;
+
+const MESH: usize = 128;
+const UNROLL: usize = 4;
+
+pub(crate) fn build(seed: u64) -> Program {
+    let mut rng = SplitMix64::new(seed ^ 0x70c7_0007);
+    let mut data = DataBuilder::new(crate::DATA_BASE);
+    data.f64_array("x", (0..MESH + 8).map(|_| rng.next_f64() * 10.0));
+    data.f64_array("y", (0..MESH + 8).map(|_| rng.next_f64() * 10.0));
+    // consts: [0]=0.5, [1]=0.25, [2]=100.0 divergence guard.
+    data.f64_array("consts", [0.5, 0.25, 100.0]);
+
+    let x = data.address_of("x") as i32;
+    let y = data.address_of("y") as i32;
+    let consts = data.address_of("consts") as i32;
+
+    let mut a = Assembler::new();
+    a.li(R17, x);
+    a.li(R18, y);
+    a.li(R20, consts);
+    a.ldt(F7, 0, R20); // 0.5
+    a.ldt(F8, 8, R20); // 0.25
+    a.ldt(F9, 16, R20); // guard
+
+    a.label("outer");
+    a.mov(R4, R17);
+    a.mov(R5, R18);
+    a.li(R3, (MESH / UNROLL) as i32);
+
+    a.label("inner");
+    for k in 0..UNROLL {
+        let off = (k * 8) as i16;
+        // X[i] = 0.5*X[i] + 0.25*X[i+1] + 0.25*Y[i]
+        a.ldt(F1, off, R4);
+        a.ldt(F2, off + 8, R4);
+        a.ldt(F3, off, R5);
+        a.mult(F4, F1, F7);
+        a.mult(F5, F2, F8);
+        a.addt(F4, F4, F5);
+        a.mult(F5, F3, F8);
+        a.addt(F4, F4, F5);
+        a.stt(F4, off, R4);
+        // Y[i] = 0.5*Y[i] + 0.5*X[i]'
+        a.mult(F5, F3, F7);
+        a.mult(F6, F4, F7);
+        a.addt(F5, F5, F6);
+        a.stt(F5, off, R5);
+    }
+    a.addi(R4, R4, (UNROLL * 8) as i16);
+    a.addi(R5, R5, (UNROLL * 8) as i16);
+    a.subi(R3, R3, 1);
+    a.bne(R3, "inner");
+
+    // Rare divergence check (essentially never taken: values are bounded).
+    a.cmptlt(R8, F4, F9);
+    a.beq(R8, "reset");
+    a.br("outer");
+    a.label("reset");
+    // Re-seed the mesh from Y (cold path).
+    a.ldt(F1, 0, R18);
+    a.stt(F1, 0, R17);
+    a.br("outer");
+
+    super::finish("tomcatv", &a, data)
+}

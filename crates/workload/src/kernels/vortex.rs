@@ -1,0 +1,128 @@
+//! `vortex` proxy: object-graph pointer chasing with type dispatch.
+//!
+//! Personality: an object-oriented database traverses a large object graph
+//! — dependent loads with a 64KB footprint (real L1 misses), skewed
+//! type-dispatch cascades (well-predicted but not perfectly), and method
+//! calls for the common types. The loop visits two independent cursors per
+//! iteration (a transaction touching multiple collections), giving several
+//! distinct dispatch sites. Prediction accuracy is high; the value of
+//! recycling here is conserving fetch bandwidth.
+
+use crate::asm::Assembler;
+use crate::data::{DataBuilder, SplitMix64};
+use crate::program::Program;
+use multipath_isa::regs::*;
+
+const OBJECTS: usize = 2048;
+const OBJ_BYTES: u64 = 32; // [0]=type, [8]=next, [16]=field, [24]=alt next
+
+pub(crate) fn build(seed: u64) -> Program {
+    let mut rng = SplitMix64::new(seed ^ 0x0b7e_0008);
+    let mut data = DataBuilder::new(crate::DATA_BASE);
+    let base = crate::DATA_BASE;
+    let mut words = Vec::with_capacity(OBJECTS * 4);
+    for _ in 0..OBJECTS {
+        // Types skewed 80/12/5/3.
+        let ty = match rng.next_below(100) {
+            0..=79 => 0u64,
+            80..=91 => 1,
+            92..=96 => 2,
+            _ => 3,
+        };
+        let next = base + rng.next_below(OBJECTS as u64) * OBJ_BYTES;
+        let alt = base + rng.next_below(OBJECTS as u64) * OBJ_BYTES;
+        words.push(ty);
+        words.push(next);
+        words.push(rng.next_u64() >> 3);
+        words.push(alt);
+    }
+    data.u64_array("objects", words);
+    assert_eq!(data.address_of("objects"), base);
+
+    let objects = base as i32;
+
+    let mut a = Assembler::new();
+    // r16=graph base, r30=SP, r4=cursor A, r10=cursor B, r9=accumulator.
+    a.li(R16, objects);
+    a.li(R30, crate::STACK_TOP as i32);
+    a.li(R9, 0);
+    a.br("outer");
+
+    // method_touch(r4 = object): read-modify-write the field.
+    a.label("method_touch");
+    a.ldq(R5, 16, R4);
+    a.addi(R5, R5, 1);
+    a.stq(R5, 16, R4);
+    a.add(R9, R9, R5);
+    a.ret();
+
+    // method_fold(r4 = object): fold the field into the accumulator.
+    a.label("method_fold");
+    a.ldq(R5, 16, R4);
+    a.xor(R9, R9, R5);
+    a.srli(R5, R5, 7);
+    a.add(R9, R9, R5);
+    a.ret();
+
+    a.label("outer");
+    a.mov(R4, R16); // cursor A restarts at object 0
+    a.addi(R10, R16, 0x40); // cursor B starts two objects in
+    a.li(R3, 512);
+
+    a.label("chase");
+    // ---- cursor A: full dispatch cascade ----
+    a.ldq(R6, 0, R4);
+    a.bne(R6, "a_not_t0");
+    a.ldq(R7, 16, R4);
+    a.add(R9, R9, R7);
+    a.br("a_advance");
+    a.label("a_not_t0");
+    a.cmpeqi(R7, R6, 1);
+    a.beq(R7, "a_not_t1");
+    a.jsr("method_touch");
+    a.br("a_advance");
+    a.label("a_not_t1");
+    a.cmpeqi(R7, R6, 2);
+    a.beq(R7, "a_rare");
+    a.jsr("method_fold");
+    a.br("a_advance");
+    a.label("a_rare");
+    a.ldq(R7, 16, R4);
+    a.slli(R7, R7, 1);
+    a.stq(R7, 16, R4);
+    a.subi(R9, R9, 3);
+    a.label("a_advance");
+    a.ldq(R4, 8, R4); // dependent load: follow the primary edge
+
+    // ---- cursor B: index-maintenance dispatch (distinct sites) ----
+    a.ldq(R12, 0, R10);
+    a.cmpeqi(R13, R12, 0);
+    a.bne(R13, "b_base");
+    a.cmpeqi(R13, R12, 1);
+    a.beq(R13, "b_other");
+    // type 1: reindex
+    a.ldq(R14, 16, R10);
+    a.srli(R15, R14, 3);
+    a.xor(R9, R9, R15);
+    a.br("b_advance");
+    a.label("b_other");
+    // types 2/3: checksum walk
+    a.ldq(R14, 16, R10);
+    a.add(R9, R9, R14);
+    a.andi(R15, R14, 7);
+    a.cmpulti(R15, R15, 3);
+    a.beq(R15, "b_advance");
+    a.subi(R9, R9, 1);
+    a.br("b_advance");
+    a.label("b_base");
+    // type 0: cheap tally
+    a.addi(R9, R9, 2);
+    a.label("b_advance");
+    a.ldq(R10, 24, R10); // follow the alternate edge
+
+    a.subi(R3, R3, 1);
+    a.bne(R3, "chase");
+    a.br("outer");
+
+    super::finish("vortex", &a, data)
+}

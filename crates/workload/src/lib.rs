@@ -1,0 +1,45 @@
+//! Workloads for the `multipath` simulator.
+//!
+//! The HPCA'99 paper evaluated eight SPEC95 benchmarks compiled for Alpha.
+//! SPEC95 binaries (and an Alpha toolchain) are not reproducible here, so
+//! this crate provides the substitution documented in `DESIGN.md`: eight
+//! hand-written kernels in the simulator's own ISA whose *control-flow
+//! personality* is modelled on the corresponding benchmark — branch
+//! predictability, hammock density (fork/merge structure), loop sizes, call
+//! depth, floating-point mix, and memory footprint. Recycling and TME
+//! behaviour depend on exactly those properties.
+//!
+//! * [`asm::Assembler`] — a label-based assembler DSL used to write kernels.
+//! * [`Program`] — an assembled program image (text + data + entry point).
+//! * [`kernels`] — the eight SPEC95-proxy kernels.
+//! * [`mix`] — single- and multi-program workload composition, including the
+//!   paper's "eight permutations weighting each benchmark evenly".
+//!
+//! # Examples
+//!
+//! ```
+//! use multipath_workload::{kernels, Benchmark};
+//!
+//! let program = kernels::build(Benchmark::Compress, 42);
+//! assert!(program.text.len() > 10);
+//! assert_eq!(program.entry, program.text_base);
+//! ```
+
+pub mod asm;
+pub mod data;
+pub mod kernels;
+pub mod micro;
+pub mod mix;
+pub mod program;
+
+pub use asm::{AsmError, Assembler};
+pub use data::{DataBuilder, SplitMix64};
+pub use kernels::Benchmark;
+pub use program::Program;
+
+/// Default base address for program text.
+pub const TEXT_BASE: u64 = 0x1_0000;
+/// Default base address for the data segment.
+pub const DATA_BASE: u64 = 0x10_0000;
+/// Initial stack pointer (stacks grow down).
+pub const STACK_TOP: u64 = 0x7f_0000;

@@ -1,0 +1,189 @@
+//! Parameterised synthetic microbenchmarks.
+//!
+//! Where [`crate::kernels`] imitates whole SPEC95 programs, this module
+//! generates loops with *one property dialled at a time* — loop size,
+//! number of hard branch sites, branch bias, independent-chain ILP, data
+//! footprint — so the simulator's mechanisms can be studied in isolation
+//! (e.g. the paper's claim that only loops smaller than the active list
+//! benefit from backward-branch recycling).
+//!
+//! # Examples
+//!
+//! ```
+//! use multipath_workload::micro::{self, MicroParams};
+//!
+//! let p = micro::build(&MicroParams { loop_body: 64, ..MicroParams::default() }, 1);
+//! assert!(p.text.len() >= 50);
+//! ```
+
+use crate::asm::Assembler;
+use crate::data::{DataBuilder, SplitMix64};
+use crate::program::Program;
+use multipath_isa::regs::*;
+use multipath_isa::IntReg;
+
+/// Tunable properties of a generated loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MicroParams {
+    /// Approximate loop-body length in instructions (≥ 8).
+    pub loop_body: usize,
+    /// Number of data-dependent hammock sites in the body.
+    pub hard_sites: usize,
+    /// Probability (percent) that a hard branch is taken.
+    pub taken_percent: u8,
+    /// Independent accumulator chains (instruction-level parallelism).
+    pub ilp: usize,
+    /// Data footprint in bytes (rounded up to a power of two, ≥ 4KiB).
+    pub footprint: usize,
+}
+
+impl Default for MicroParams {
+    /// A 32-instruction loop with one 30%-taken hammock, two chains, and
+    /// an 8KiB footprint.
+    fn default() -> MicroParams {
+        MicroParams {
+            loop_body: 32,
+            hard_sites: 1,
+            taken_percent: 30,
+            ilp: 2,
+            footprint: 8 << 10,
+        }
+    }
+}
+
+/// Builds the microbenchmark. Deterministic in `seed`; the program loops
+/// forever (simulate to a commit budget).
+///
+/// # Panics
+///
+/// Panics if the parameters are degenerate (zero body, zero chains, or
+/// more hard sites than the body can hold).
+pub fn build(params: &MicroParams, seed: u64) -> Program {
+    assert!(params.loop_body >= 8, "loop body must hold the loop plumbing");
+    assert!(params.ilp >= 1 && params.ilp <= 6, "1..=6 chains supported");
+    // A site emits 10 instructions and the emission loop admits one while
+    // `emitted + 8 < loop_body`, so the last site starts no later than
+    // slot 10*(sites-1) — all sites fit iff that slot passes the guard.
+    assert!(
+        params.hard_sites * 10 <= params.loop_body + 1,
+        "each hard site costs ten instructions"
+    );
+    let mut rng = SplitMix64::new(seed ^ 0x3317_c0de);
+    let slots = (params.footprint.max(4096) / 8).next_power_of_two();
+    let mut data = DataBuilder::new(crate::DATA_BASE);
+    data.u64_array("table", (0..slots).map(|_| rng.next_u64()));
+    let table = data.address_of("table") as i32;
+
+    // Accumulator registers for the independent chains.
+    const CHAINS: [IntReg; 6] = [R8, R9, R10, R11, R12, R13];
+    let mut a = Assembler::new();
+    a.li(R16, table);
+    a.li(R2, 0);
+    for &c in &CHAINS[..params.ilp] {
+        a.li(c, 1);
+    }
+
+    a.label("loop");
+    let mut emitted = 0usize;
+    let mut site = 0usize;
+    let threshold = (params.taken_percent as i64 * 256 / 100) as i16;
+    while emitted + 8 < params.loop_body {
+        if site < params.hard_sites {
+            // A hammock: branch on a fresh random byte from the table.
+            a.andi(R4, R2, (slots - 1) as i16);
+            a.slli(R4, R4, 3);
+            a.add(R4, R16, R4);
+            a.ldq(R5, 0, R4);
+            a.andi(R6, R5, 255);
+            a.cmplti(R6, R6, threshold);
+            let then = format!("s{site}_t");
+            let join = format!("s{site}_j");
+            a.bne(R6, &then);
+            a.add(CHAINS[site % params.ilp], CHAINS[site % params.ilp], R5);
+            a.br(&join);
+            a.label(&then);
+            a.xor(CHAINS[site % params.ilp], CHAINS[site % params.ilp], R5);
+            a.label(&join);
+            emitted += 10;
+            site += 1;
+        } else {
+            // Plain chain work, rotated across the independent chains.
+            let c = CHAINS[emitted % params.ilp];
+            match emitted % 3 {
+                0 => a.addi(c, c, 7),
+                1 => a.slli(R5, c, 1),
+                _ => a.xor(c, c, R5),
+            }
+            emitted += 1;
+        }
+    }
+    a.addi(R2, R2, 1);
+    a.br("loop");
+
+    Program {
+        name: format!(
+            "micro-b{}s{}p{}i{}",
+            params.loop_body, params.hard_sites, params.taken_percent, params.ilp
+        ),
+        text_base: crate::TEXT_BASE,
+        text: a.assemble(crate::TEXT_BASE).expect("microbenchmark assembles"),
+        data: vec![data.build()],
+        entry: crate::TEXT_BASE,
+        initial_sp: crate::STACK_TOP,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_builds_and_sizes_track_request() {
+        let small = build(&MicroParams { loop_body: 16, ..MicroParams::default() }, 1);
+        let large = build(&MicroParams { loop_body: 128, ..MicroParams::default() }, 1);
+        assert!(large.text.len() > small.text.len() * 3);
+    }
+
+    #[test]
+    fn determinism_and_seed_sensitivity() {
+        let p = MicroParams::default();
+        assert_eq!(build(&p, 5), build(&p, 5));
+        assert_ne!(build(&p, 5).data, build(&p, 6).data);
+    }
+
+    #[test]
+    #[should_panic(expected = "ten instructions")]
+    fn too_many_sites_rejected() {
+        build(&MicroParams { loop_body: 16, hard_sites: 2, ..MicroParams::default() }, 1);
+    }
+
+    #[test]
+    fn every_requested_site_is_emitted() {
+        for sites in 1..=4usize {
+            let p = build(
+                &MicroParams { loop_body: sites * 10, hard_sites: sites, ..MicroParams::default() },
+                3,
+            );
+            let branches = p
+                .text
+                .iter()
+                .filter(|&&w| {
+                    multipath_isa::Inst::decode(w)
+                        .is_some_and(|i| i.op == multipath_isa::Opcode::Bne)
+                })
+                .count();
+            assert_eq!(branches, sites, "one conditional hammock per requested site");
+        }
+    }
+
+    #[test]
+    fn all_words_decode() {
+        let p = build(
+            &MicroParams { loop_body: 96, hard_sites: 4, ilp: 4, ..MicroParams::default() },
+            2,
+        );
+        for &w in &p.text {
+            assert!(multipath_isa::Inst::decode(w).is_some());
+        }
+    }
+}

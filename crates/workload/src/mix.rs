@@ -1,0 +1,87 @@
+//! Workload composition for single- and multi-program experiments.
+//!
+//! The paper's multi-program results average "eight permutations of the
+//! benchmarks that weight each of the benchmarks evenly" (Section 4).
+//! [`rotations`] reproduces that: the i-th mix takes `n` consecutive
+//! benchmarks starting at position i of the canonical order, wrapping —
+//! eight mixes in which every benchmark appears exactly `n` times.
+
+use crate::kernels::{self, Benchmark};
+use crate::program::Program;
+
+/// The eight evenly-weighted mixes of `n` programs each.
+///
+/// # Examples
+///
+/// ```
+/// let mixes = multipath_workload::mix::rotations(2);
+/// assert_eq!(mixes.len(), 8);
+/// assert_eq!(mixes[0].len(), 2);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n` is zero or greater than 8.
+pub fn rotations(n: usize) -> Vec<Vec<Benchmark>> {
+    assert!((1..=8).contains(&n), "mixes hold 1..=8 programs");
+    (0..Benchmark::ALL.len())
+        .map(|start| {
+            (0..n)
+                .map(|k| Benchmark::ALL[(start + k) % Benchmark::ALL.len()])
+                .collect()
+        })
+        .collect()
+}
+
+/// Builds the programs for one mix. Co-scheduled copies of the same
+/// benchmark get distinct seeds so their data (and thus their paths)
+/// differ, as distinct processes would.
+pub fn programs(mix: &[Benchmark], seed: u64) -> Vec<Program> {
+    mix.iter()
+        .enumerate()
+        .map(|(i, &b)| kernels::build(b, seed.wrapping_add(i as u64 * 0x9e37)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotations_weight_evenly() {
+        for n in [1, 2, 4] {
+            let mixes = rotations(n);
+            assert_eq!(mixes.len(), 8);
+            let mut counts = std::collections::HashMap::new();
+            for mix in &mixes {
+                assert_eq!(mix.len(), n);
+                for &b in mix {
+                    *counts.entry(b).or_insert(0usize) += 1;
+                }
+            }
+            for b in Benchmark::ALL {
+                assert_eq!(counts[&b], n, "{b} unevenly weighted at n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_program_mixes_cover_all_benchmarks() {
+        let mixes = rotations(1);
+        let got: Vec<Benchmark> = mixes.iter().map(|m| m[0]).collect();
+        assert_eq!(got, Benchmark::ALL.to_vec());
+    }
+
+    #[test]
+    fn co_scheduled_duplicates_get_distinct_data() {
+        let progs = programs(&[Benchmark::Gcc, Benchmark::Gcc], 5);
+        assert_eq!(progs[0].text, progs[1].text);
+        assert_ne!(progs[0].data, progs[1].data);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=8")]
+    fn oversized_mix_rejected() {
+        rotations(9);
+    }
+}

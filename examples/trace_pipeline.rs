@@ -1,0 +1,25 @@
+//! Watch the pipeline work: a per-cycle timeline of every hardware
+//! context, showing forks appearing (`A`), branches resolving (`a`),
+//! displaced primaries draining (`D`), inactive traces (`I`), and recycle
+//! streams (`+sN`) feeding rename.
+//!
+//! ```text
+//! cargo run --release --example trace_pipeline -p multipath-core
+//! ```
+
+use multipath_core::trace::{render_timeline, sample_window};
+use multipath_core::{Features, SimConfig, Simulator};
+use multipath_workload::{kernels, Benchmark};
+
+fn main() {
+    let config = SimConfig::big_2_16().with_features(Features::rec_rs_ru());
+    let mut sim = Simulator::new(config, vec![kernels::build(Benchmark::Go, 7)]);
+    // Warm the predictors and caches, then watch 400 cycles.
+    sim.run(5_000, 500_000);
+    let samples = sample_window(&mut sim, 400);
+    print!("{}", render_timeline(&samples, 10));
+    println!(
+        "\nlegend: P primary, A alternate, a resolved alternate, D draining, \
+         I inactive trace, . idle; 'n+sM' = n live entries, stream of M remaining"
+    );
+}

@@ -1,0 +1,112 @@
+//! Differential testing: the speculative pipeline must be architecturally
+//! identical to the in-order reference emulator on randomly generated
+//! programs, under every feature configuration and machine model.
+
+use multipath_core::emulator::Emulator;
+use multipath_core::{Features, ProgId, SimConfig, Simulator};
+use multipath_tests::{random_program, scratch_dump};
+use proptest::prelude::*;
+
+fn reference_dump(p: &multipath_workload::Program) -> Vec<u64> {
+    let mut emu = Emulator::new(p);
+    while !emu.halted() {
+        emu.step();
+    }
+    scratch_dump(emu.memory())
+}
+
+fn pipeline_dump(p: multipath_workload::Program, config: SimConfig) -> Vec<u64> {
+    let mut sim = Simulator::new(config, vec![p]);
+    sim.run(u64::MAX, 3_000_000);
+    assert!(sim.program_finished(ProgId(0)), "pipeline starved at cycle {}", sim.cycle());
+    scratch_dump(sim.program_memory(ProgId(0)))
+}
+
+#[test]
+fn fixed_seeds_all_features() {
+    for seed in 0..6u64 {
+        let p = random_program(seed, 5, 8);
+        let expected = reference_dump(&p);
+        for features in Features::all_six() {
+            let got =
+                pipeline_dump(p.clone(), SimConfig::big_2_16().with_features(features));
+            assert_eq!(got, expected, "seed {seed} features {}", features.label());
+        }
+    }
+}
+
+#[test]
+fn fixed_seeds_all_machines() {
+    for seed in 10..14u64 {
+        let p = random_program(seed, 4, 8);
+        let expected = reference_dump(&p);
+        for (name, config) in [
+            ("big.2.16", SimConfig::big_2_16()),
+            ("big.1.8", SimConfig::big_1_8()),
+            ("small.2.8", SimConfig::small_2_8()),
+            ("small.1.8", SimConfig::small_1_8()),
+        ] {
+            let got = pipeline_dump(p.clone(), config.with_features(Features::rec_rs_ru()));
+            assert_eq!(got, expected, "seed {seed} machine {name}");
+        }
+    }
+}
+
+#[test]
+fn lockstep_random_programs() {
+    // Stronger than end-state comparison: every committed instruction is
+    // validated against the reference as the simulation runs.
+    for seed in 20..24u64 {
+        let p = random_program(seed, 6, 10);
+        let mut sim =
+            Simulator::new(SimConfig::big_2_16().with_features(Features::rec_rs_ru()), vec![p]);
+        sim.attach_reference(ProgId(0));
+        sim.run(u64::MAX, 3_000_000);
+        assert!(sim.program_finished(ProgId(0)));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Randomized differential test over generator parameters.
+    #[test]
+    fn random_programs_match_reference(
+        seed in 0u64..10_000,
+        blocks in 2usize..7,
+        outer in 3i16..10,
+    ) {
+        let p = random_program(seed, blocks, outer);
+        let expected = reference_dump(&p);
+        let got = pipeline_dump(
+            p,
+            SimConfig::big_2_16().with_features(Features::rec_rs_ru()),
+        );
+        prop_assert_eq!(got, expected);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Co-scheduled random programs are each architecturally identical to
+    /// their stand-alone reference runs.
+    #[test]
+    fn random_pairs_are_isolated(
+        seed_a in 0u64..5_000,
+        seed_b in 5_000u64..10_000,
+    ) {
+        let pa = random_program(seed_a, 4, 6);
+        let pb = random_program(seed_b, 3, 7);
+        let ea = reference_dump(&pa);
+        let eb = reference_dump(&pb);
+        let mut sim = Simulator::new(
+            SimConfig::big_2_16().with_features(Features::rec_rs_ru()),
+            vec![pa, pb],
+        );
+        sim.run(u64::MAX, 4_000_000);
+        prop_assert!(sim.program_finished(ProgId(0)) && sim.program_finished(ProgId(1)));
+        prop_assert_eq!(scratch_dump(sim.program_memory(ProgId(0))), ea);
+        prop_assert_eq!(scratch_dump(sim.program_memory(ProgId(1))), eb);
+    }
+}

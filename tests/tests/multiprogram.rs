@@ -1,0 +1,92 @@
+//! Multi-program integration: co-scheduled programs must be isolated
+//! (identical architectural results to running alone), all must make
+//! progress, and determinism must hold.
+
+use multipath_core::emulator::Emulator;
+use multipath_core::{Features, ProgId, SimConfig, Simulator};
+use multipath_tests::{random_program, scratch_dump};
+use multipath_workload::{kernels, mix, Benchmark};
+
+#[test]
+fn co_scheduling_is_architecturally_invisible() {
+    // Two halting random programs sharing the machine must each produce
+    // exactly what they produce on the reference emulator, despite cache
+    // contention, shared queues, and interleaved commit.
+    let pa = random_program(100, 5, 8);
+    let pb = random_program(200, 4, 9);
+    let expect_a = {
+        let mut emu = Emulator::new(&pa);
+        while !emu.halted() {
+            emu.step();
+        }
+        scratch_dump(emu.memory())
+    };
+    let expect_b = {
+        let mut emu = Emulator::new(&pb);
+        while !emu.halted() {
+            emu.step();
+        }
+        scratch_dump(emu.memory())
+    };
+
+    let config = SimConfig::big_2_16().with_features(Features::rec_rs_ru());
+    let mut sim = Simulator::new(config, vec![pa, pb]);
+    sim.run(u64::MAX, 4_000_000);
+    assert!(sim.program_finished(ProgId(0)) && sim.program_finished(ProgId(1)));
+    assert_eq!(scratch_dump(sim.program_memory(ProgId(0))), expect_a);
+    assert_eq!(scratch_dump(sim.program_memory(ProgId(1))), expect_b);
+}
+
+#[test]
+fn four_programs_all_progress() {
+    let workload = [Benchmark::Compress, Benchmark::Go, Benchmark::Perl, Benchmark::Vortex];
+    let programs = mix::programs(&workload, 3);
+    let config = SimConfig::big_2_16().with_features(Features::rec_rs_ru());
+    let mut sim = Simulator::new(config, programs);
+    let stats = sim.run(40_000, 2_000_000);
+    assert!(stats.committed >= 40_000);
+    for (i, &c) in stats.committed_per_program.iter().enumerate() {
+        assert!(
+            c > 2_000,
+            "program {i} starved: {c} committed (ICOUNT fairness violated)"
+        );
+    }
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let run = || {
+        let programs = mix::programs(&[Benchmark::Gcc, Benchmark::Li], 9);
+        let config = SimConfig::big_2_16().with_features(Features::rec_rs_ru());
+        let mut sim = Simulator::new(config, programs);
+        let s = sim.run(20_000, 1_000_000);
+        (s.cycles, s.committed, s.renamed, s.recycled, s.reused, s.forks, s.merges)
+    };
+    assert_eq!(run(), run(), "identical inputs must give identical simulations");
+}
+
+#[test]
+fn eight_programs_fill_every_context() {
+    // One program per context: TME has no spares, so recycling can only
+    // come from each thread's own trace (backward-branch merges).
+    let programs = mix::programs(&Benchmark::ALL, 5);
+    let config = SimConfig::big_2_16().with_features(Features::rec_rs_ru());
+    let mut sim = Simulator::new(config, programs);
+    let stats = sim.run(40_000, 2_000_000);
+    assert!(stats.committed >= 40_000);
+    assert_eq!(stats.forks, 0, "no spare contexts, no forks");
+    assert_eq!(stats.respawns, 0, "nothing to re-spawn without forks");
+    // All merges must come from each thread's own trace (backward-branch
+    // or retained-squashed-path merges) — never from forked paths.
+    assert_eq!(stats.forks_recycled, 0);
+}
+
+#[test]
+fn kernels_run_on_the_smallest_machine() {
+    for bench in [Benchmark::Compress, Benchmark::Tomcatv] {
+        let config = SimConfig::small_1_8().with_features(Features::rec_rs_ru());
+        let mut sim = Simulator::new(config, vec![kernels::build(bench, 2)]);
+        let stats = sim.run(8_000, 1_000_000);
+        assert!(stats.committed >= 8_000, "{bench} starved on small.1.8");
+    }
+}
