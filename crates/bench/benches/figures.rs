@@ -1,13 +1,13 @@
-//! Criterion benches: time one representative simulation per experiment so
-//! simulator-throughput regressions show up. (The *papers'* numbers come
-//! from the fig3/fig4/fig5/fig6/table1 binaries; these benches measure the
-//! wall-clock cost of producing them.)
+//! Wall-clock benches: time one representative simulation per experiment
+//! so simulator-throughput regressions show up. (The *paper's* numbers
+//! come from the fig3/fig4/fig5/fig6/table1 binaries; these measure the
+//! cost of producing them.) Runs on the testkit's bench runner — plain
+//! wall-clock samples, no external harness.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use multipath_bench::{run_cell, run_single, Budget, Cell};
 use multipath_core::{AltPolicy, Features, SimConfig};
+use multipath_testkit::BenchRunner;
 use multipath_workload::{mix, Benchmark};
-use std::hint::black_box;
 
 fn bench_budget() -> Budget {
     let mut b = Budget::quick();
@@ -15,67 +15,50 @@ fn bench_budget() -> Budget {
     b
 }
 
-/// Figure 3 cell: one benchmark under the full architecture.
-fn fig3_cell(c: &mut Criterion) {
+fn main() {
     let budget = bench_budget();
-    c.bench_function("fig3/compress/rec_rs_ru", |b| {
-        b.iter(|| {
-            black_box(run_single(Benchmark::Compress, Features::rec_rs_ru(), &budget))
-        })
-    });
-    c.bench_function("fig3/compress/smt", |b| {
-        b.iter(|| black_box(run_single(Benchmark::Compress, Features::smt(), &budget)))
-    });
-}
+    let mut runner = BenchRunner::from_env();
 
-/// Figure 4 cell: a 4-program mix under the full architecture.
-fn fig4_cell(c: &mut Criterion) {
-    let budget = bench_budget();
-    let cell = Cell {
+    // Figure 3 cells: one benchmark under the full architecture and SMT.
+    runner.bench("fig3/compress/rec_rs_ru", || {
+        run_single(Benchmark::Compress, Features::rec_rs_ru(), &budget)
+    });
+    runner.bench("fig3/compress/smt", || {
+        run_single(Benchmark::Compress, Features::smt(), &budget)
+    });
+
+    // Figure 4 cell: a 4-program mix under the full architecture.
+    let fig4 = Cell {
         config: SimConfig::big_2_16().with_features(Features::rec_rs_ru()),
         workload: mix::rotations(4)[0].clone(),
         seed: 1,
     };
-    c.bench_function("fig4/4progs/rec_rs_ru", |b| {
-        b.iter(|| black_box(run_cell(&cell, &budget)))
-    });
-}
+    runner.bench("fig4/4progs/rec_rs_ru", || run_cell(&fig4, &budget));
 
-/// Figure 5 cell: the nostop-32 policy (most speculative sweep point).
-fn fig5_cell(c: &mut Criterion) {
-    let budget = bench_budget();
-    let cell = Cell {
+    // Figure 5 cell: the nostop-32 policy (most speculative sweep point).
+    let fig5 = Cell {
         config: SimConfig::big_2_16()
             .with_features(Features::rec_rs_ru())
             .with_alt_policy(AltPolicy::NoStop(32)),
         workload: vec![Benchmark::Go],
         seed: 1,
     };
-    c.bench_function("fig5/go/nostop32", |b| b.iter(|| black_box(run_cell(&cell, &budget))));
-}
+    runner.bench("fig5/go/nostop32", || run_cell(&fig5, &budget));
 
-/// Figure 6 cell: the small.1.8 machine.
-fn fig6_cell(c: &mut Criterion) {
-    let budget = bench_budget();
-    let cell = Cell {
+    // Figure 6 cell: the small.1.8 machine.
+    let fig6 = Cell {
         config: SimConfig::small_1_8().with_features(Features::rec_rs_ru()),
         workload: vec![Benchmark::Vortex],
         seed: 1,
     };
-    c.bench_function("fig6/vortex/small18", |b| b.iter(|| black_box(run_cell(&cell, &budget))));
-}
+    runner.bench("fig6/vortex/small18", || run_cell(&fig6, &budget));
 
-/// Table 1 cell: statistics collection on the recycling-heavy kernel.
-fn table1_cell(c: &mut Criterion) {
-    let budget = bench_budget();
-    c.bench_function("table1/tomcatv/rec_rs_ru", |b| {
-        b.iter(|| black_box(run_single(Benchmark::Tomcatv, Features::rec_rs_ru(), &budget)))
+    // Table 1 cell: statistics collection on the recycling-heavy kernel.
+    runner.bench("table1/tomcatv/rec_rs_ru", || {
+        run_single(Benchmark::Tomcatv, Features::rec_rs_ru(), &budget)
     });
-}
 
-criterion_group! {
-    name = figures;
-    config = Criterion::default().sample_size(10);
-    targets = fig3_cell, fig4_cell, fig5_cell, fig6_cell, table1_cell
+    // The whole parallel sweep at the quick budget: end-to-end harness
+    // throughput, sensitive to both simulator and scheduler regressions.
+    runner.bench("suite/figure3/quick", || multipath_bench::figure3(&budget));
 }
-criterion_main!(figures);

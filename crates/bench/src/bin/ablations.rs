@@ -19,13 +19,20 @@ fn budget() -> Budget {
 }
 
 fn cell(config: SimConfig, workload: Vec<Benchmark>) -> Cell {
-    Cell { config, workload, seed: 1 }
+    Cell {
+        config,
+        workload,
+        seed: 1,
+    }
 }
 
 /// Confidence threshold: how eagerly TME forks.
 fn confidence_threshold() {
     println!("-- confidence threshold (go, TME): fork aggressiveness");
-    println!("{:>10} {:>8} {:>8} {:>10} {:>10}", "threshold", "IPC", "forks", "coverage%", "waste");
+    println!(
+        "{:>10} {:>8} {:>8} {:>10} {:>10}",
+        "threshold", "IPC", "forks", "coverage%", "waste"
+    );
     for threshold in [4u8, 8, 12, 15] {
         let mut config = SimConfig::big_2_16().with_features(Features::tme());
         config.predictor.conf_threshold = threshold;
@@ -44,12 +51,21 @@ fn confidence_threshold() {
 /// Active-list capacity: the recycle trace length.
 fn active_list_size() {
     println!("-- active-list slots (tomcatv, REC/RS/RU): trace capacity");
-    println!("{:>10} {:>8} {:>10} {:>8}", "slots", "IPC", "recycled%", "merges");
+    println!(
+        "{:>10} {:>8} {:>10} {:>8}",
+        "slots", "IPC", "recycled%", "merges"
+    );
     for slots in [32usize, 64, 128, 256] {
         let mut config = SimConfig::big_2_16().with_features(Features::rec_rs_ru());
         config.active_list = slots;
         let s = run_cell(&cell(config, vec![Benchmark::Tomcatv]), &budget());
-        println!("{:>10} {:>8.2} {:>10.1} {:>8}", slots, s.ipc(), s.pct_recycled(), s.merges);
+        println!(
+            "{:>10} {:>8.2} {:>10.1} {:>8}",
+            slots,
+            s.ipc(),
+            s.pct_recycled(),
+            s.merges
+        );
     }
 }
 
@@ -62,26 +78,43 @@ fn physical_registers() {
         config.phys_int = 8 * 32 + extra;
         config.phys_fp = 8 * 32 + extra;
         let s = run_cell(&cell(config, mix::rotations(4)[0].clone()), &budget());
-        println!("{:>10} {:>8.2} {:>12}", 256 + extra, s.ipc(), s.preg_stall_cycles);
+        println!(
+            "{:>10} {:>8.2} {:>12}",
+            256 + extra,
+            s.ipc(),
+            s.preg_stall_cycles
+        );
     }
 }
 
 /// Forks per cycle: spawn bandwidth.
 fn forks_per_cycle() {
     println!("-- forks per cycle (gcc, REC/RS/RU): spawn bandwidth");
-    println!("{:>10} {:>8} {:>8} {:>10}", "forks/cyc", "IPC", "forks", "refused");
+    println!(
+        "{:>10} {:>8} {:>8} {:>10}",
+        "forks/cyc", "IPC", "forks", "refused"
+    );
     for n in [1usize, 2, 4] {
         let mut config = SimConfig::big_2_16().with_features(Features::rec_rs_ru());
         config.forks_per_cycle = n;
         let s = run_cell(&cell(config, vec![Benchmark::Gcc]), &budget());
-        println!("{:>10} {:>8.2} {:>8} {:>10}", n, s.ipc(), s.forks, s.fork_refused_cap);
+        println!(
+            "{:>10} {:>8.2} {:>8} {:>10}",
+            n,
+            s.ipc(),
+            s.forks,
+            s.fork_refused_cap
+        );
     }
 }
 
 /// Contexts: how many spares the single program gets.
 fn context_count() {
     println!("-- hardware contexts (go, TME): spare availability");
-    println!("{:>10} {:>8} {:>8} {:>10}", "contexts", "IPC", "forks", "coverage%");
+    println!(
+        "{:>10} {:>8} {:>8} {:>10}",
+        "contexts", "IPC", "forks", "coverage%"
+    );
     for contexts in [2usize, 4, 8] {
         let mut config = SimConfig::big_2_16().with_features(Features::tme());
         config.contexts = contexts;
@@ -99,10 +132,14 @@ fn context_count() {
 /// The paper's two recycled-branch prediction methods (Section 3.4).
 fn recycled_prediction() {
     println!("-- recycled-branch prediction method (perl, REC/RS/RU)");
-    println!("{:>10} {:>8} {:>10} {:>8}", "method", "IPC", "recycled%", "acc%");
-    for (name, method) in
-        [("repredict", RecycledPrediction::Repredict), ("trace", RecycledPrediction::Trace)]
-    {
+    println!(
+        "{:>10} {:>8} {:>10} {:>8}",
+        "method", "IPC", "recycled%", "acc%"
+    );
+    for (name, method) in [
+        ("repredict", RecycledPrediction::Repredict),
+        ("trace", RecycledPrediction::Trace),
+    ] {
         let mut config = SimConfig::big_2_16().with_features(Features::rec_rs_ru());
         config.recycled_prediction = method;
         let s = run_cell(&cell(config, vec![Benchmark::Perl]), &budget());
@@ -132,7 +169,10 @@ fn mdb_capacity() {
 /// smaller than the current active lists are able to benefit".
 fn loop_size_vs_recycling() {
     println!("-- loop-body size vs recycling (microbenchmark, REC/RS/RU, 64-slot AL)");
-    println!("{:>10} {:>8} {:>10} {:>8}", "body", "IPC", "recycled%", "back");
+    println!(
+        "{:>10} {:>8} {:>10} {:>8}",
+        "body", "IPC", "recycled%", "back"
+    );
     for body in [16usize, 32, 48, 64, 96, 160] {
         let params = multipath_workload::micro::MicroParams {
             loop_body: body,
@@ -142,7 +182,13 @@ fn loop_size_vs_recycling() {
         let config = SimConfig::big_2_16().with_features(Features::rec_rs_ru());
         let mut sim = multipath_core::Simulator::new(config, vec![program]);
         let s = sim.run(budget().committed_per_program, 2_000_000).clone();
-        println!("{:>10} {:>8.2} {:>10.1} {:>8}", body, s.ipc(), s.pct_recycled(), s.back_merges);
+        println!(
+            "{:>10} {:>8.2} {:>10.1} {:>8}",
+            body,
+            s.ipc(),
+            s.pct_recycled(),
+            s.back_merges
+        );
     }
 }
 
@@ -153,7 +199,12 @@ fn predictor_scheme() {
         "{:>10} {:>16} {:>16} {:>16}",
         "bench", "gshare", "bimodal", "combining"
     );
-    for bench in [Benchmark::Gcc, Benchmark::Go, Benchmark::Perl, Benchmark::Vortex] {
+    for bench in [
+        Benchmark::Gcc,
+        Benchmark::Go,
+        Benchmark::Perl,
+        Benchmark::Vortex,
+    ] {
         let mut cells = Vec::new();
         for scheme in [
             multipath_branch::DirectionScheme::Gshare,
@@ -184,7 +235,12 @@ fn spawn_latency() {
         let mut config = SimConfig::big_2_16().with_features(Features::tme());
         config.spawn_latency = latency;
         let s = run_cell(&cell(config, vec![Benchmark::Go]), &budget());
-        println!("{:>10} {:>8.2} {:>10.1}", latency, s.ipc(), s.pct_miss_covered());
+        println!(
+            "{:>10} {:>8.2} {:>10.1}",
+            latency,
+            s.ipc(),
+            s.pct_miss_covered()
+        );
     }
 }
 

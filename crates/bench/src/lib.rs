@@ -2,9 +2,15 @@
 //!
 //! Every table and figure of the paper's evaluation has a runner here and a
 //! binary that prints it (`cargo run --release -p multipath-bench --bin
-//! fig3`, `fig4`, `fig5`, `fig6`, `table1`). The Criterion bench target
+//! fig3`, `fig4`, `fig5`, `fig6`, `table1`). The bench target
 //! (`cargo bench -p multipath-bench`) times representative simulations of
 //! each experiment so regressions in simulator throughput are visible.
+//!
+//! Sweeps run on the [`parallel`] engine: each figure builds its full
+//! cell list, shards it across `MULTIPATH_THREADS` workers (default: all
+//! cores), and aggregates in cell-list order, so output is byte-identical
+//! at any thread count. `MULTIPATH_BUDGET=quick` selects the smoke-sized
+//! budget; `MP_BENCH_COMMITS`/`MP_BENCH_MIXES` fine-tune it.
 //!
 //! Absolute IPC is not expected to match the paper (its workloads were
 //! SPEC95 Alpha binaries on the authors' simulator; ours are synthetic
@@ -14,6 +20,8 @@
 
 use multipath_core::{AltPolicy, Features, SimConfig, Simulator, Stats};
 use multipath_workload::{mix, Benchmark};
+
+pub mod parallel;
 
 /// How big each simulation is.
 #[derive(Debug, Clone, Copy)]
@@ -33,22 +41,43 @@ impl Budget {
     /// The default experiment size: 20k committed instructions per program
     /// over all eight permutations.
     pub fn full() -> Budget {
-        Budget { committed_per_program: 20_000, max_cycles: 2_000_000, seed: 1, mixes: 8 }
+        Budget {
+            committed_per_program: 20_000,
+            max_cycles: 2_000_000,
+            seed: 1,
+            mixes: 8,
+        }
     }
 
     /// A fast smoke-sized budget for tests and Criterion timing.
     pub fn quick() -> Budget {
-        Budget { committed_per_program: 4_000, max_cycles: 400_000, seed: 1, mixes: 2 }
+        Budget {
+            committed_per_program: 4_000,
+            max_cycles: 400_000,
+            seed: 1,
+            mixes: 2,
+        }
     }
 
-    /// Reads `MP_BENCH_COMMITS` / `MP_BENCH_MIXES` overrides from the
-    /// environment, falling back to [`Budget::full`].
+    /// Reads the budget from the environment: `MULTIPATH_BUDGET=quick`
+    /// selects [`Budget::quick`] (anything else means [`Budget::full`]),
+    /// then `MP_BENCH_COMMITS` / `MP_BENCH_MIXES` override individual
+    /// knobs.
     pub fn from_env() -> Budget {
-        let mut b = Budget::full();
-        if let Some(n) = std::env::var("MP_BENCH_COMMITS").ok().and_then(|s| s.parse().ok()) {
+        let mut b = match std::env::var("MULTIPATH_BUDGET").as_deref() {
+            Ok("quick") => Budget::quick(),
+            _ => Budget::full(),
+        };
+        if let Some(n) = std::env::var("MP_BENCH_COMMITS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+        {
             b.committed_per_program = n;
         }
-        if let Some(n) = std::env::var("MP_BENCH_MIXES").ok().and_then(|s| s.parse::<usize>().ok()) {
+        if let Some(n) = std::env::var("MP_BENCH_MIXES")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+        {
             b.mixes = n.clamp(1, 8);
         }
         b
@@ -75,32 +104,51 @@ pub fn run_cell(cell: &Cell, budget: &Budget) -> Stats {
     sim.stats().clone()
 }
 
+/// The cell for `bench` running alone under `features` on the baseline
+/// machine.
+fn single_cell(bench: Benchmark, features: Features, budget: &Budget) -> Cell {
+    Cell {
+        config: SimConfig::big_2_16().with_features(features),
+        workload: vec![bench],
+        seed: budget.seed,
+    }
+}
+
 /// Convenience: run `bench` alone under `features` on the baseline machine.
 pub fn run_single(bench: Benchmark, features: Features, budget: &Budget) -> Stats {
-    run_cell(
-        &Cell {
-            config: SimConfig::big_2_16().with_features(features),
-            workload: vec![bench],
+    run_cell(&single_cell(bench, features, budget), budget)
+}
+
+/// The cells behind one multi-program average: the paper's evenly-weighted
+/// permutations of `n` programs, limited to `budget.mixes` rotations.
+fn mix_cells(config: &SimConfig, n_programs: usize, budget: &Budget) -> Vec<Cell> {
+    let mixes = mix::rotations(n_programs);
+    let take = budget.mixes.min(mixes.len());
+    mixes
+        .into_iter()
+        .take(take)
+        .map(|m| Cell {
+            config: config.clone(),
+            workload: m,
             seed: budget.seed,
-        },
-        budget,
-    )
+        })
+        .collect()
+}
+
+/// Mean IPC over per-cell statistics, summed in cell order (the order
+/// matters: floating-point addition is not associative, and the CI
+/// determinism gate compares serial and parallel output byte-for-byte).
+fn mean_ipc(stats: &[Stats]) -> f64 {
+    stats.iter().map(Stats::ipc).sum::<f64>() / stats.len() as f64
 }
 
 /// Average IPC over the paper's evenly-weighted permutations of `n`
 /// programs (limited to `budget.mixes` rotations).
 pub fn average_ipc(config: &SimConfig, n_programs: usize, budget: &Budget) -> f64 {
-    let mixes = mix::rotations(n_programs);
-    let take = budget.mixes.min(mixes.len());
-    let mut sum = 0.0;
-    for m in mixes.into_iter().take(take) {
-        let stats = run_cell(
-            &Cell { config: config.clone(), workload: m, seed: budget.seed },
-            budget,
-        );
-        sum += stats.ipc();
-    }
-    sum / take as f64
+    mean_ipc(&parallel::run_cells(
+        &mix_cells(config, n_programs, budget),
+        budget,
+    ))
 }
 
 // ---------------------------------------------------------------------
@@ -117,14 +165,24 @@ pub struct Fig3Row {
 }
 
 /// Runs Figure 3 (single-program IPC for SMT/TME/REC/REC-RU/REC-RS/
-/// REC-RS-RU on the baseline machine).
+/// REC-RS-RU on the baseline machine). All 48 cells run in parallel.
 pub fn figure3(budget: &Budget) -> Vec<Fig3Row> {
+    let cells: Vec<Cell> = Benchmark::ALL
+        .into_iter()
+        .flat_map(|bench| {
+            Features::all_six()
+                .into_iter()
+                .map(move |f| single_cell(bench, f, budget))
+        })
+        .collect();
+    let stats = parallel::run_cells(&cells, budget);
     Benchmark::ALL
         .into_iter()
-        .map(|bench| {
+        .enumerate()
+        .map(|(bi, bench)| {
             let mut ipc = [0.0; 6];
-            for (i, features) in Features::all_six().into_iter().enumerate() {
-                ipc[i] = run_single(bench, features, budget).ipc();
+            for (fi, v) in ipc.iter_mut().enumerate() {
+                *v = stats[bi * 6 + fi].ipc();
             }
             Fig3Row { bench, ipc }
         })
@@ -173,15 +231,27 @@ pub struct Fig4Row {
     pub ipc: [f64; 6],
 }
 
-/// Runs Figure 4.
+/// Runs Figure 4. The whole grid (3 program counts × 6 configurations ×
+/// up to 8 mixes) is flattened into one parallel sweep.
 pub fn figure4(budget: &Budget) -> Vec<Fig4Row> {
+    let mut cells = Vec::new();
+    let mut spans = Vec::new();
+    for n in [1usize, 2, 4] {
+        for features in Features::all_six() {
+            let config = SimConfig::big_2_16().with_features(features);
+            let start = cells.len();
+            cells.extend(mix_cells(&config, n, budget));
+            spans.push(start..cells.len());
+        }
+    }
+    let stats = parallel::run_cells(&cells, budget);
     [1usize, 2, 4]
         .into_iter()
-        .map(|n| {
+        .enumerate()
+        .map(|(ni, n)| {
             let mut ipc = [0.0; 6];
-            for (i, features) in Features::all_six().into_iter().enumerate() {
-                let config = SimConfig::big_2_16().with_features(features);
-                ipc[i] = average_ipc(&config, n, budget);
+            for (fi, v) in ipc.iter_mut().enumerate() {
+                *v = mean_ipc(&stats[spans[ni * 6 + fi].clone()]);
             }
             Fig4Row { programs: n, ipc }
         })
@@ -219,17 +289,30 @@ pub struct Fig5Row {
     pub ipc: [f64; 3],
 }
 
-/// Runs Figure 5 (nine policies under the full REC/RS/RU architecture).
+/// Runs Figure 5 (nine policies under the full REC/RS/RU architecture),
+/// flattened into one parallel sweep.
 pub fn figure5(budget: &Budget) -> Vec<Fig5Row> {
-    AltPolicy::figure5_sweep()
+    let policies = AltPolicy::figure5_sweep();
+    let mut cells = Vec::new();
+    let mut spans = Vec::new();
+    for &policy in &policies {
+        let config = SimConfig::big_2_16()
+            .with_features(Features::rec_rs_ru())
+            .with_alt_policy(policy);
+        for n in [1usize, 2, 4] {
+            let start = cells.len();
+            cells.extend(mix_cells(&config, n, budget));
+            spans.push(start..cells.len());
+        }
+    }
+    let stats = parallel::run_cells(&cells, budget);
+    policies
         .into_iter()
-        .map(|policy| {
-            let config = SimConfig::big_2_16()
-                .with_features(Features::rec_rs_ru())
-                .with_alt_policy(policy);
+        .enumerate()
+        .map(|(pi, policy)| {
             let mut ipc = [0.0; 3];
-            for (i, n) in [1usize, 2, 4].into_iter().enumerate() {
-                ipc[i] = average_ipc(&config, n, budget);
+            for (ni, v) in ipc.iter_mut().enumerate() {
+                *v = mean_ipc(&stats[spans[pi * 3 + ni].clone()]);
             }
             Fig5Row { policy, ipc }
         })
@@ -239,7 +322,10 @@ pub fn figure5(budget: &Budget) -> Vec<Fig5Row> {
 /// Renders Figure 5 as an aligned text table.
 pub fn render_figure5(rows: &[Fig5Row]) -> String {
     let mut out = String::new();
-    out.push_str(&format!("{:12} {:>10} {:>10} {:>10}\n", "policy", "1 prog", "2 progs", "4 progs"));
+    out.push_str(&format!(
+        "{:12} {:>10} {:>10} {:>10}\n",
+        "policy", "1 prog", "2 progs", "4 progs"
+    ));
     for row in rows {
         out.push_str(&format!(
             "{:12} {:>10.2} {:>10.2} {:>10.2}\n",
@@ -277,20 +363,40 @@ pub struct Fig6Row {
     pub ipc: [f64; 3],
 }
 
-/// Runs Figure 6 (SMT vs TME vs REC/RS/RU on each machine model).
+/// Runs Figure 6 (SMT vs TME vs REC/RS/RU on each machine model),
+/// flattened into one parallel sweep.
 pub fn figure6(budget: &Budget) -> Vec<Fig6Row> {
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
+    let mut keys = Vec::new();
+    let mut spans = Vec::new();
     for (machine, base) in figure6_machines() {
         for features in [Features::smt(), Features::tme(), Features::rec_rs_ru()] {
             let config = base.clone().with_features(features);
-            let mut ipc = [0.0; 3];
-            for (i, n) in [1usize, 2, 4].into_iter().enumerate() {
-                ipc[i] = average_ipc(&config, n, budget);
+            let mut row_spans = [0..0, 0..0, 0..0];
+            for (ni, n) in [1usize, 2, 4].into_iter().enumerate() {
+                let start = cells.len();
+                cells.extend(mix_cells(&config, n, budget));
+                row_spans[ni] = start..cells.len();
             }
-            rows.push(Fig6Row { machine, features, ipc });
+            keys.push((machine, features));
+            spans.push(row_spans);
         }
     }
-    rows
+    let stats = parallel::run_cells(&cells, budget);
+    keys.into_iter()
+        .zip(spans)
+        .map(|((machine, features), row_spans)| {
+            let mut ipc = [0.0; 3];
+            for (ni, v) in ipc.iter_mut().enumerate() {
+                *v = mean_ipc(&stats[row_spans[ni].clone()]);
+            }
+            Fig6Row {
+                machine,
+                features,
+                ipc,
+            }
+        })
+        .collect()
 }
 
 /// Renders Figure 6 as an aligned text table.
@@ -357,34 +463,35 @@ impl Table1Row {
 }
 
 /// Runs Table 1: per-benchmark recycling statistics under REC/RS/RU, plus
-/// 2- and 4-program averages.
+/// 2- and 4-program averages. Singles and mix cells share one parallel
+/// sweep.
 pub fn table1(budget: &Budget) -> Vec<Table1Row> {
-    let mut rows = Vec::new();
-    let mut single_acc: Vec<Stats> = Vec::new();
-    for bench in Benchmark::ALL {
-        let stats = run_single(bench, Features::rec_rs_ru(), budget);
-        rows.push(Table1Row::from_stats(bench.name().to_owned(), &stats));
-        single_acc.push(stats);
-    }
-    rows.push(Table1Row::from_stats("1 prog avg".to_owned(), &combine(&single_acc)));
+    let singles = Benchmark::ALL.len();
+    let mut cells: Vec<Cell> = Benchmark::ALL
+        .into_iter()
+        .map(|bench| single_cell(bench, Features::rec_rs_ru(), budget))
+        .collect();
+    let mut spans = Vec::new();
     for n in [2usize, 4] {
-        let mixes = mix::rotations(n);
-        let take = budget.mixes.min(mixes.len());
-        let stats: Vec<Stats> = mixes
-            .into_iter()
-            .take(take)
-            .map(|m| {
-                run_cell(
-                    &Cell {
-                        config: SimConfig::big_2_16().with_features(Features::rec_rs_ru()),
-                        workload: m,
-                        seed: budget.seed,
-                    },
-                    budget,
-                )
-            })
-            .collect();
-        rows.push(Table1Row::from_stats(format!("{n} progs avg"), &combine(&stats)));
+        let config = SimConfig::big_2_16().with_features(Features::rec_rs_ru());
+        let start = cells.len();
+        cells.extend(mix_cells(&config, n, budget));
+        spans.push((n, start..cells.len()));
+    }
+    let stats = parallel::run_cells(&cells, budget);
+    let mut rows = Vec::new();
+    for (bench, s) in Benchmark::ALL.into_iter().zip(&stats) {
+        rows.push(Table1Row::from_stats(bench.name().to_owned(), s));
+    }
+    rows.push(Table1Row::from_stats(
+        "1 prog avg".to_owned(),
+        &combine(&stats[..singles]),
+    ));
+    for (n, span) in spans {
+        rows.push(Table1Row::from_stats(
+            format!("{n} progs avg"),
+            &combine(&stats[span]),
+        ));
     }
     rows
 }
@@ -422,7 +529,15 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{:12} {:>8} {:>7} {:>9} {:>6} {:>6} {:>8} {:>10} {:>7}\n",
-        "program", "recyc%", "reuse%", "misscov%", "tme%", "recyc%", "respawn%", "merges/alt", "back%"
+        "program",
+        "recyc%",
+        "reuse%",
+        "misscov%",
+        "tme%",
+        "recyc%",
+        "respawn%",
+        "merges/alt",
+        "back%"
     ));
     for r in rows {
         out.push_str(&format!(
@@ -559,10 +674,15 @@ mod tests {
         budget.committed_per_program = 2_000;
         let rows = table1(&budget);
         assert_eq!(rows.len(), 8 + 3);
-        let avg = rows.iter().find(|r| r.label == "1 prog avg").expect("average row");
-        assert!(avg.pct_recycled > 1.0, "recycling should be visible: {avg:?}");
+        let avg = rows
+            .iter()
+            .find(|r| r.label == "1 prog avg")
+            .expect("average row");
+        assert!(
+            avg.pct_recycled > 1.0,
+            "recycling should be visible: {avg:?}"
+        );
         let text = render_table1(&rows);
         assert!(text.contains("4 progs avg"));
     }
 }
-

@@ -1,0 +1,116 @@
+//! The parallel sweep engine: shards experiment cells across scoped
+//! worker threads with byte-identical output to a serial run.
+//!
+//! Every figure runner in this crate builds its full cell list up front,
+//! maps it through [`run_cells`], and aggregates the results *in list
+//! order*. Workers pull cell indices from a shared atomic counter, so any
+//! thread may simulate any cell, but each cell is deterministic given its
+//! own seed and results land back at their original index — aggregation
+//! order (and thus floating-point summation order, and thus the rendered
+//! tables) never depends on the thread count.
+//!
+//! Thread count comes from `MULTIPATH_THREADS`; unset or invalid falls
+//! back to the machine's available parallelism. `MULTIPATH_THREADS=1` is
+//! the serial mode the CI determinism gate compares against.
+
+use crate::{run_cell, Budget, Cell};
+use multipath_core::Stats;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker-thread count: `MULTIPATH_THREADS` if set to a positive integer,
+/// otherwise the machine's available parallelism.
+pub fn thread_count() -> usize {
+    match std::env::var("MULTIPATH_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1),
+    }
+}
+
+/// Applies `f` to every item on [`thread_count`] workers, returning
+/// results in item order.
+pub fn map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    map_with(thread_count(), items, f)
+}
+
+/// [`map`] with an explicit worker count. `threads <= 1` runs inline on
+/// the calling thread; either way the result order is the item order.
+pub fn map_with<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.min(items.len());
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+/// Runs every cell of a sweep in parallel; `out[i]` is the statistics of
+/// `cells[i]`, exactly as a serial loop would produce them.
+pub fn run_cells(cells: &[Cell], budget: &Budget) -> Vec<Stats> {
+    map(cells, |cell| run_cell(cell, budget))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_item_order() {
+        let items: Vec<u64> = (0..100).collect();
+        for threads in [1, 2, 7, 16, 200] {
+            let out = map_with(threads, &items, |&x| x * x);
+            assert_eq!(
+                out,
+                items.iter().map(|x| x * x).collect::<Vec<_>>(),
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_singleton() {
+        assert_eq!(map_with(8, &[] as &[u64], |&x| x), Vec::<u64>::new());
+        assert_eq!(map_with(8, &[5u64], |&x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn thread_count_is_at_least_one() {
+        assert!(thread_count() >= 1);
+    }
+}

@@ -30,9 +30,15 @@ impl Btb {
     /// Panics if `entries` is not divisible into a power-of-two number of
     /// sets of `ways` entries.
     pub fn new(entries: usize, ways: usize) -> Btb {
-        assert!(ways > 0 && entries.is_multiple_of(ways), "BTB geometry inconsistent");
+        assert!(
+            ways > 0 && entries.is_multiple_of(ways),
+            "BTB geometry inconsistent"
+        );
         let num_sets = entries / ways;
-        assert!(num_sets.is_power_of_two(), "BTB set count must be a power of two");
+        assert!(
+            num_sets.is_power_of_two(),
+            "BTB set count must be a power of two"
+        );
         Btb {
             sets: vec![Vec::with_capacity(ways); num_sets],
             ways,
@@ -69,7 +75,11 @@ impl Btb {
             e.lru = clock;
             return;
         }
-        let entry = BtbEntry { tag, target, lru: clock };
+        let entry = BtbEntry {
+            tag,
+            target,
+            lru: clock,
+        };
         if set.len() < ways {
             set.push(entry);
         } else {
@@ -112,7 +122,7 @@ mod tests {
     #[test]
     fn lru_eviction_within_set() {
         let mut btb = Btb::new(8, 2); // 4 sets, 2 ways
-        // Three PCs mapping to set 0: (pc>>2) & 3 == 0.
+                                      // Three PCs mapping to set 0: (pc>>2) & 3 == 0.
         let a = 0x00; // set 0
         let b = 0x40; // set 0 (0x40>>2 = 16, &3 = 0)
         let c = 0x80; // set 0

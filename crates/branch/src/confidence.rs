@@ -28,9 +28,18 @@ impl ConfidenceEstimator {
     /// or `threshold == 0` (which would make every branch confident and
     /// disable TME entirely).
     pub fn new(entries: usize, max: u8, threshold: u8) -> ConfidenceEstimator {
-        assert!(entries.is_power_of_two() && entries > 0, "table size must be a power of two");
-        assert!(threshold <= max, "threshold must not exceed the saturation ceiling");
-        assert!(threshold > 0, "a zero threshold disables low-confidence detection");
+        assert!(
+            entries.is_power_of_two() && entries > 0,
+            "table size must be a power of two"
+        );
+        assert!(
+            threshold <= max,
+            "threshold must not exceed the saturation ceiling"
+        );
+        assert!(
+            threshold > 0,
+            "a zero threshold disables low-confidence detection"
+        );
         ConfidenceEstimator {
             table: vec![0; entries],
             index_mask: (entries - 1) as u64,

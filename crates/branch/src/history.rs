@@ -25,7 +25,11 @@ impl GlobalHistory {
         assert!((1..=64).contains(&length), "history length must be 1..=64");
         GlobalHistory {
             bits: 0,
-            mask: if length == 64 { u64::MAX } else { (1u64 << length) - 1 },
+            mask: if length == 64 {
+                u64::MAX
+            } else {
+                (1u64 << length) - 1
+            },
         }
     }
 

@@ -179,7 +179,10 @@ impl BranchPredictor {
                 }
             }
         };
-        Prediction { taken, confident: self.confidence.is_confident(pc, history.bits()) }
+        Prediction {
+            taken,
+            confident: self.confidence.is_confident(pc, history.bits()),
+        }
     }
 
     /// Looks up the predicted target of the control instruction at `pc`.
@@ -231,8 +234,10 @@ mod tests {
         // A branch that alternates with period 2 is learnable by gshare
         // (history separates the phases) but not by bimodal; the chooser
         // must migrate to gshare.
-        let config =
-            PredictorConfig { scheme: DirectionScheme::Combining, ..Default::default() };
+        let config = PredictorConfig {
+            scheme: DirectionScheme::Combining,
+            ..Default::default()
+        };
         let mut bp = BranchPredictor::new(config);
         let mut ghr = GlobalHistory::new(bp.history_bits());
         let mut taken = false;
@@ -254,8 +259,10 @@ mod tests {
 
     #[test]
     fn bimodal_scheme_is_history_blind() {
-        let config =
-            PredictorConfig { scheme: DirectionScheme::Bimodal, ..Default::default() };
+        let config = PredictorConfig {
+            scheme: DirectionScheme::Bimodal,
+            ..Default::default()
+        };
         let mut bp = BranchPredictor::new(config);
         let ghr = GlobalHistory::new(bp.history_bits());
         for _ in 0..8 {
@@ -265,7 +272,10 @@ mod tests {
         // Same answer whatever the (untrained) history register holds.
         let mut other = GlobalHistory::new(bp.history_bits());
         other.set(0x3ff);
-        assert_eq!(bp.predict(0x600, &ghr).taken, bp.predict(0x600, &other).taken);
+        assert_eq!(
+            bp.predict(0x600, &ghr).taken,
+            bp.predict(0x600, &other).taken
+        );
     }
 
     #[test]
@@ -298,7 +308,10 @@ mod tests {
             bp.update(0x8000, ghr.bits(), taken, p.taken);
             taken = !taken;
         }
-        assert!(mispredicts > 16, "alternation should defeat a 2-bit counter");
+        assert!(
+            mispredicts > 16,
+            "alternation should defeat a 2-bit counter"
+        );
         assert!(!bp.predict(0x8000, &ghr).confident);
     }
 

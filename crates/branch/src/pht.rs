@@ -48,7 +48,10 @@ impl Gshare {
     ///
     /// Panics if `entries` is not a power of two or is zero.
     pub fn new(entries: usize) -> Gshare {
-        assert!(entries.is_power_of_two() && entries > 0, "PHT size must be a power of two");
+        assert!(
+            entries.is_power_of_two() && entries > 0,
+            "PHT size must be a power of two"
+        );
         Gshare {
             table: vec![TwoBitCounter::weakly_not_taken(); entries],
             index_mask: (entries - 1) as u64,
@@ -106,7 +109,10 @@ impl Bimodal {
     ///
     /// Panics if `entries` is not a power of two or is zero.
     pub fn new(entries: usize) -> Bimodal {
-        assert!(entries.is_power_of_two() && entries > 0, "table size must be a power of two");
+        assert!(
+            entries.is_power_of_two() && entries > 0,
+            "table size must be a power of two"
+        );
         Bimodal {
             table: vec![TwoBitCounter::weakly_not_taken(); entries],
             index_mask: (entries - 1) as u64,

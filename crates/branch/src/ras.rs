@@ -21,7 +21,10 @@ impl ReturnStack {
     /// Panics if `depth` is zero.
     pub fn new(depth: usize) -> ReturnStack {
         assert!(depth > 0, "return stack depth must be positive");
-        ReturnStack { entries: Vec::with_capacity(depth), depth }
+        ReturnStack {
+            entries: Vec::with_capacity(depth),
+            depth,
+        }
     }
 
     /// Pushes a return address (the instruction after a call).

@@ -3,13 +3,12 @@
 //! branch converges, and the confidence estimator tracks streaks.
 
 use multipath_branch::{
-    Btb, BranchPredictor, ConfidenceEstimator, GlobalHistory, PredictorConfig, ReturnStack,
+    BranchPredictor, Btb, ConfidenceEstimator, GlobalHistory, PredictorConfig, ReturnStack,
 };
-use proptest::prelude::*;
+use multipath_testkit::{prop_assert, prop_assert_eq, prop_test, TestRng};
 
-proptest! {
-    #[test]
-    fn predictor_total_on_arbitrary_pcs(pcs in prop::collection::vec(any::<u64>(), 1..200)) {
+prop_test! {
+    fn predictor_total_on_arbitrary_pcs(pcs in |rng: &mut TestRng| rng.vec(1..200, TestRng::next_u64)) {
         let mut bp = BranchPredictor::new(PredictorConfig::default());
         let mut ghr = GlobalHistory::new(bp.history_bits());
         for pc in pcs {
@@ -20,9 +19,8 @@ proptest! {
         }
     }
 
-    #[test]
     fn btb_lookup_matches_last_update(
-        ops in prop::collection::vec((any::<u16>(), any::<u32>()), 1..100)
+        ops in |rng: &mut TestRng| rng.vec(1..100, |r| (r.next_u16(), r.next_u32()))
     ) {
         let mut btb = Btb::new(64, 4);
         let mut last = std::collections::HashMap::new();
@@ -39,8 +37,7 @@ proptest! {
         }
     }
 
-    #[test]
-    fn ras_never_exceeds_depth(pushes in prop::collection::vec(any::<u64>(), 0..100)) {
+    fn ras_never_exceeds_depth(pushes in |rng: &mut TestRng| rng.vec(0..100, TestRng::next_u64)) {
         let mut ras = ReturnStack::new(12);
         for a in &pushes {
             ras.push(*a);
@@ -54,8 +51,10 @@ proptest! {
         prop_assert_eq!(ras.pop(), None);
     }
 
-    #[test]
-    fn biased_branch_converges(bias_taken in any::<bool>(), pc in any::<u32>()) {
+    fn biased_branch_converges(
+        input in |rng: &mut TestRng| (rng.next_bool(), rng.next_u32())
+    ) {
+        let (bias_taken, pc) = input;
         let mut bp = BranchPredictor::new(PredictorConfig::default());
         let mut ghr = GlobalHistory::new(bp.history_bits());
         let pc = pc as u64;
@@ -69,8 +68,9 @@ proptest! {
         prop_assert!(p.confident);
     }
 
-    #[test]
-    fn confidence_streak_invariant(outcomes in prop::collection::vec(any::<bool>(), 1..200)) {
+    fn confidence_streak_invariant(
+        outcomes in |rng: &mut TestRng| rng.vec(1..200, TestRng::next_bool)
+    ) {
         // After the sequence, confidence equals (current correct streak >= threshold).
         let mut c = ConfidenceEstimator::new(256, 15, 12);
         let mut streak: u32 = 0;

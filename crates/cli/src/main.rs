@@ -4,6 +4,7 @@
 //! ```text
 //! multipath run [OPTIONS] <BENCH>...       simulate one workload
 //! multipath compare [OPTIONS] <BENCH>...   all six configurations side by side
+//! multipath figures [FIG]...               regenerate paper figures (parallel sweep)
 //! multipath list                           list benchmarks, machines, policies
 //! multipath disasm <BENCH>                 disassemble a kernel
 //!
@@ -13,6 +14,10 @@
 //!   --policy   <stop-N|fetch-N|nostop-N>               (default stop-8)
 //!   --commits  <N>      committed instructions per program (default 30000)
 //!   --seed     <N>      workload seed (default 1)
+//!
+//! `figures` takes any of fig3 fig4 fig5 fig6 table1 (default: all), and
+//! honours MULTIPATH_THREADS (worker count), MULTIPATH_BUDGET=quick
+//! (smoke-sized sweep), and MP_FORMAT=csv.
 //! ```
 
 use multipath_core::{AltPolicy, Features, SimConfig, Simulator, Stats};
@@ -31,9 +36,12 @@ struct Options {
 fn usage() -> ExitCode {
     eprint!(
         "usage:\n  multipath run [OPTIONS] <BENCH>...\n  multipath compare [OPTIONS] <BENCH>...\n  \
+         multipath figures [fig3|fig4|fig5|fig6|table1]...\n  \
          multipath list\n  multipath disasm <BENCH>\n\noptions:\n  --features smt|tme|rec|rec-ru|rec-rs|rec-rs-ru\n  \
          --machine big.2.16|big.1.8|small.2.8|small.1.8\n  --policy stop-N|fetch-N|nostop-N\n  \
-         --commits N   --seed N\n"
+         --commits N   --seed N\n\nenvironment (figures):\n  \
+         MULTIPATH_THREADS=N   sweep worker count (default: all cores)\n  \
+         MULTIPATH_BUDGET=quick   smoke-sized sweep\n  MP_FORMAT=csv   CSV output\n"
     );
     ExitCode::from(2)
 }
@@ -144,7 +152,9 @@ fn print_stats(label: &str, s: &Stats) {
 }
 
 fn cmd_run(args: &[String]) -> ExitCode {
-    let Some(opts) = parse_options(args) else { return usage() };
+    let Some(opts) = parse_options(args) else {
+        return usage();
+    };
     let stats = simulate(&opts, opts.features);
     let names: Vec<&str> = opts.benches.iter().map(|b| b.name()).collect();
     println!(
@@ -158,7 +168,9 @@ fn cmd_run(args: &[String]) -> ExitCode {
 }
 
 fn cmd_compare(args: &[String]) -> ExitCode {
-    let Some(opts) = parse_options(args) else { return usage() };
+    let Some(opts) = parse_options(args) else {
+        return usage();
+    };
     let names: Vec<&str> = opts.benches.iter().map(|b| b.name()).collect();
     println!("workload: {}", names.join("+"));
     for features in Features::all_six() {
@@ -171,7 +183,11 @@ fn cmd_compare(args: &[String]) -> ExitCode {
 fn cmd_list() -> ExitCode {
     println!("benchmarks:");
     for b in Benchmark::ALL {
-        println!("  {:10} {}", b.name(), if b.is_fp() { "(floating point)" } else { "" });
+        println!(
+            "  {:10} {}",
+            b.name(),
+            if b.is_fp() { "(floating point)" } else { "" }
+        );
     }
     println!("machines:   big.2.16  big.1.8  small.2.8  small.1.8");
     println!("features:   smt  tme  rec  rec-ru  rec-rs  rec-rs-ru");
@@ -179,9 +195,95 @@ fn cmd_list() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_figures(args: &[String]) -> ExitCode {
+    const ALL: [&str; 5] = ["fig3", "fig4", "fig5", "fig6", "table1"];
+    let requested: Vec<&str> = if args.is_empty() {
+        ALL.to_vec()
+    } else {
+        let mut picked = Vec::new();
+        for a in args {
+            match ALL.iter().find(|&&f| f == a) {
+                Some(&f) => picked.push(f),
+                None => {
+                    eprintln!(
+                        "error: unknown figure '{a}' (expected one of {})",
+                        ALL.join(" ")
+                    );
+                    return usage();
+                }
+            }
+        }
+        picked
+    };
+    let budget = multipath_bench::Budget::from_env();
+    let csv = multipath_bench::csv_requested();
+    eprintln!(
+        "sweeping on {} worker thread(s); {} committed per program, {} mixes",
+        multipath_bench::parallel::thread_count(),
+        budget.committed_per_program,
+        budget.mixes
+    );
+    for (i, fig) in requested.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        if requested.len() > 1 {
+            println!("== {fig} ==");
+        }
+        match *fig {
+            "fig3" => {
+                let rows = multipath_bench::figure3(&budget);
+                if csv {
+                    print!("{}", multipath_bench::render_figure3_csv(&rows));
+                } else {
+                    print!("{}", multipath_bench::render_figure3(&rows));
+                }
+            }
+            "fig4" => {
+                let rows = multipath_bench::figure4(&budget);
+                if csv {
+                    print!("{}", multipath_bench::render_figure4_csv(&rows));
+                } else {
+                    print!("{}", multipath_bench::render_figure4(&rows));
+                }
+            }
+            "fig5" => {
+                let rows = multipath_bench::figure5(&budget);
+                if csv {
+                    print!("{}", multipath_bench::render_figure5_csv(&rows));
+                } else {
+                    print!("{}", multipath_bench::render_figure5(&rows));
+                }
+            }
+            "fig6" => {
+                let rows = multipath_bench::figure6(&budget);
+                if csv {
+                    print!("{}", multipath_bench::render_figure6_csv(&rows));
+                } else {
+                    print!("{}", multipath_bench::render_figure6(&rows));
+                }
+            }
+            "table1" => {
+                let rows = multipath_bench::table1(&budget);
+                if csv {
+                    print!("{}", multipath_bench::render_table1_csv(&rows));
+                } else {
+                    print!("{}", multipath_bench::render_table1(&rows));
+                }
+            }
+            _ => unreachable!("validated above"),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn cmd_disasm(args: &[String]) -> ExitCode {
-    let Some(name) = args.first() else { return usage() };
-    let Some(bench) = Benchmark::from_name(name) else { return usage() };
+    let Some(name) = args.first() else {
+        return usage();
+    };
+    let Some(bench) = Benchmark::from_name(name) else {
+        return usage();
+    };
     let program = kernels::build(bench, 1);
     print!("{}", program.listing());
     ExitCode::SUCCESS
@@ -193,6 +295,7 @@ fn main() -> ExitCode {
         Some((cmd, rest)) => match cmd.as_str() {
             "run" => cmd_run(rest),
             "compare" => cmd_compare(rest),
+            "figures" => cmd_figures(rest),
             "list" => cmd_list(),
             "disasm" => cmd_disasm(rest),
             _ => usage(),

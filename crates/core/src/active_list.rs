@@ -121,7 +121,12 @@ impl ActiveList {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> ActiveList {
         assert!(capacity > 0, "active list capacity must be positive");
-        ActiveList { slots: vec![None; capacity], capacity, head_seq: 0, next_seq: 0 }
+        ActiveList {
+            slots: vec![None; capacity],
+            capacity,
+            head_seq: 0,
+            next_seq: 0,
+        }
     }
 
     /// Number of live (uncommitted, unsquashed) entries.

@@ -37,8 +37,7 @@ impl Simulator {
                     break;
                 }
                 let ready = self.contexts[i].al.front().is_some_and(|e| {
-                    e.state == EntryState::Done
-                        && e.branch.as_ref().is_none_or(|b| b.resolved)
+                    e.state == EntryState::Done && e.branch.as_ref().is_none_or(|b| b.resolved)
                 });
                 if !ready {
                     break;
@@ -54,14 +53,26 @@ impl Simulator {
     fn commit_one(&mut self, ctx: CtxId) {
         let seq = self.contexts[ctx.index()].al.commit_front();
         let (op, tag, old_preg, mem) = {
-            let e = self.contexts[ctx.index()].al.at_seq_mut(seq).expect("just committed");
+            let e = self.contexts[ctx.index()]
+                .al
+                .at_seq_mut(seq)
+                .expect("just committed");
             e.regs_held = false;
             (e.inst.op, e.tag, e.old_preg.take(), e.mem)
         };
         if self.commit_log.is_some() || self.reference.is_some() {
             let (pc, value, inst, reused, recycled) = {
-                let e = self.contexts[ctx.index()].al.at_seq(seq).expect("just committed");
-                (e.pc, e.new_preg.map(|p| self.regs.read(p)), e.inst, e.reused, e.recycled)
+                let e = self.contexts[ctx.index()]
+                    .al
+                    .at_seq(seq)
+                    .expect("just committed");
+                (
+                    e.pc,
+                    e.new_preg.map(|p| self.regs.read(p)),
+                    e.inst,
+                    e.reused,
+                    e.recycled,
+                )
             };
             if let Some(log) = self.commit_log.as_mut() {
                 log.push((pc, value));
@@ -71,9 +82,7 @@ impl Simulator {
                     let expected = emu.step();
                     let retired = emu.retired();
                     let bad = expected.pc != pc
-                        || (expected.value.is_some()
-                            && value.is_some()
-                            && expected.value != value);
+                        || (expected.value.is_some() && value.is_some() && expected.value != value);
                     bad.then_some((expected, retired))
                 }
                 _ => None,
@@ -93,9 +102,10 @@ impl Simulator {
                     let al = &self.contexts[ctx.index()].al;
                     (al.head_seq().saturating_sub(6)..al.next_seq())
                         .take(20)
-                        .filter_map(|s| al.at_seq(s).map(|e| {
-                            format!("seq{} {}@{:#x} tag{}", s, e.inst, e.pc, e.tag.0)
-                        }))
+                        .filter_map(|s| {
+                            al.at_seq(s)
+                                .map(|e| format!("seq{} {}@{:#x} tag{}", s, e.inst, e.pc, e.tag.0))
+                        })
                         .collect()
                 };
                 eprintln!("commit trail of {ctx}: {trail:#?}");
@@ -106,7 +116,9 @@ impl Simulator {
                 );
             }
         }
-        let prog = self.contexts[ctx.index()].prog.expect("committing context bound");
+        let prog = self.contexts[ctx.index()]
+            .prog
+            .expect("committing context bound");
 
         if op.is_store() {
             let m = mem.expect("executed store has an address");

@@ -34,32 +34,62 @@ pub struct Features {
 impl Features {
     /// Plain simultaneous multithreading: no multipath execution.
     pub fn smt() -> Features {
-        Features { tme: false, recycle: false, reuse: false, respawn: false }
+        Features {
+            tme: false,
+            recycle: false,
+            reuse: false,
+            respawn: false,
+        }
     }
 
     /// TME without recycling (the paper's baseline to beat).
     pub fn tme() -> Features {
-        Features { tme: true, recycle: false, reuse: false, respawn: false }
+        Features {
+            tme: true,
+            recycle: false,
+            reuse: false,
+            respawn: false,
+        }
     }
 
     /// TME + recycling (`REC`).
     pub fn rec() -> Features {
-        Features { tme: true, recycle: true, reuse: false, respawn: false }
+        Features {
+            tme: true,
+            recycle: true,
+            reuse: false,
+            respawn: false,
+        }
     }
 
     /// Recycling + reuse (`REC/RU`).
     pub fn rec_ru() -> Features {
-        Features { tme: true, recycle: true, reuse: true, respawn: false }
+        Features {
+            tme: true,
+            recycle: true,
+            reuse: true,
+            respawn: false,
+        }
     }
 
     /// Recycling + re-spawning (`REC/RS`).
     pub fn rec_rs() -> Features {
-        Features { tme: true, recycle: true, reuse: false, respawn: true }
+        Features {
+            tme: true,
+            recycle: true,
+            reuse: false,
+            respawn: true,
+        }
     }
 
     /// The full architecture (`REC/RS/RU`).
     pub fn rec_rs_ru() -> Features {
-        Features { tme: true, recycle: true, reuse: true, respawn: true }
+        Features {
+            tme: true,
+            recycle: true,
+            reuse: true,
+            respawn: true,
+        }
     }
 
     /// The paper's label for this configuration.
@@ -315,12 +345,21 @@ impl SimConfig {
     /// than integer units, zero contexts, or a fetch configuration that can
     /// never supply the rename stage).
     pub fn validate(&self) {
-        assert!(self.contexts >= 1 && self.contexts <= 8, "1..=8 contexts supported");
-        assert!(self.ls_units <= self.int_units, "load/store units are a subset of integer units");
+        assert!(
+            self.contexts >= 1 && self.contexts <= 8,
+            "1..=8 contexts supported"
+        );
+        assert!(
+            self.ls_units <= self.int_units,
+            "load/store units are a subset of integer units"
+        );
         assert!(self.fetch_threads >= 1 && self.fetch_total >= 1);
         assert!(self.fetch_per_thread >= 1);
         assert!(self.rename_width >= 1);
-        assert!(self.active_list >= 8, "active lists shorter than 8 defeat recycling");
+        assert!(
+            self.active_list >= 8,
+            "active lists shorter than 8 defeat recycling"
+        );
         assert!(
             self.phys_int >= self.contexts * 32 + 16,
             "too few physical integer registers for {} contexts",

@@ -305,7 +305,10 @@ mod tests {
         let c = ctx();
         assert_eq!(c.state, CtxState::Idle);
         assert_eq!(c.first_pc(), None);
-        assert!(!c.reclaimable(), "idle contexts are used directly, not reclaimed");
+        assert!(
+            !c.reclaimable(),
+            "idle contexts are used directly, not reclaimed"
+        );
     }
 
     #[test]
@@ -322,7 +325,11 @@ mod tests {
         assert!(!CtxState::Inactive.is_running());
         assert!(CtxState::Inactive.is_recyclable_source());
         assert!(!CtxState::Draining.is_recyclable_source());
-        let alt = CtxState::Alternate { parent: CtxId(0), fork_tag: InstTag(1), resolved: false };
+        let alt = CtxState::Alternate {
+            parent: CtxId(0),
+            fork_tag: InstTag(1),
+            resolved: false,
+        };
         assert!(alt.is_running());
         assert!(alt.is_recyclable_source());
     }

@@ -54,7 +54,14 @@ impl Emulator {
         program.load_into(&mut memory);
         let mut int = [0u64; 32];
         int[30] = program.initial_sp;
-        Emulator { int, fp: [0; 32], pc: program.entry, memory, retired: 0, halted: false }
+        Emulator {
+            int,
+            fp: [0; 32],
+            pc: program.entry,
+            memory,
+            retired: 0,
+            halted: false,
+        }
     }
 
     fn read(&self, reg: Option<Reg>) -> u64 {
@@ -78,7 +85,11 @@ impl Emulator {
     pub fn step(&mut self) -> Retired {
         let pc = self.pc;
         if self.halted {
-            return Retired { pc, value: None, halted: true };
+            return Retired {
+                pc,
+                value: None,
+                halted: true,
+            };
         }
         let word = self.memory.read_u32(pc);
         let inst = Inst::decode(word).unwrap_or_else(Inst::halt);
@@ -121,7 +132,11 @@ impl Emulator {
                 if op == Opcode::Halt {
                     self.halted = true;
                     self.retired += 1;
-                    return Retired { pc, value: None, halted: true };
+                    return Retired {
+                        pc,
+                        value: None,
+                        halted: true,
+                    };
                 }
             }
             _ => value = Some(exec::alu_result(&inst, a, b, pc)),
@@ -131,7 +146,11 @@ impl Emulator {
         }
         self.pc = next;
         self.retired += 1;
-        Retired { pc, value: inst.dest.and(value), halted: false }
+        Retired {
+            pc,
+            value: inst.dest.and(value),
+            halted: false,
+        }
     }
 
     /// Instructions retired so far.

@@ -113,8 +113,16 @@ mod tests {
     fn integer_arithmetic() {
         assert_eq!(alu_result(&rrr(Opcode::Add), 3, 4, 0), 7);
         assert_eq!(alu_result(&rrr(Opcode::Sub), 3, 4, 0), u64::MAX);
-        assert_eq!(alu_result(&rrr(Opcode::Mul), 1 << 40, 1 << 30, 0), 0, "wraps");
-        assert_eq!(alu_result(&rrr(Opcode::Mul), 1 << 40, (1 << 24) | 3, 0), 3 << 40, "wraps");
+        assert_eq!(
+            alu_result(&rrr(Opcode::Mul), 1 << 40, 1 << 30, 0),
+            0,
+            "wraps"
+        );
+        assert_eq!(
+            alu_result(&rrr(Opcode::Mul), 1 << 40, (1 << 24) | 3, 0),
+            3 << 40,
+            "wraps"
+        );
         assert_eq!(alu_result(&rri(Opcode::Addi, -1), 5, 0, 0), 4);
         assert_eq!(alu_result(&rri(Opcode::Muli, 31), 2, 0, 0), 62);
     }
@@ -125,8 +133,15 @@ mod tests {
         assert_eq!(alu_result(&rrr(Opcode::Or), 0b1100, 0b1010, 0), 0b1110);
         assert_eq!(alu_result(&rrr(Opcode::Xor), 0b1100, 0b1010, 0), 0b0110);
         assert_eq!(alu_result(&rri(Opcode::Slli, 4), 1, 0, 0), 16);
-        assert_eq!(alu_result(&rri(Opcode::Srli, 1), u64::MAX, 0, 0), u64::MAX >> 1);
-        assert_eq!(alu_result(&rri(Opcode::Srai, 1), u64::MAX, 0, 0), u64::MAX, "arithmetic");
+        assert_eq!(
+            alu_result(&rri(Opcode::Srli, 1), u64::MAX, 0, 0),
+            u64::MAX >> 1
+        );
+        assert_eq!(
+            alu_result(&rri(Opcode::Srai, 1), u64::MAX, 0, 0),
+            u64::MAX,
+            "arithmetic"
+        );
         // Shift amounts wrap at 64.
         assert_eq!(alu_result(&rrr(Opcode::Sll), 1, 65, 0), 2);
     }
@@ -134,11 +149,23 @@ mod tests {
     #[test]
     fn comparisons_signed_and_unsigned() {
         let minus_one = u64::MAX;
-        assert_eq!(alu_result(&rrr(Opcode::Cmplt), minus_one, 0, 0), 1, "signed");
-        assert_eq!(alu_result(&rrr(Opcode::Cmpult), minus_one, 0, 0), 0, "unsigned");
+        assert_eq!(
+            alu_result(&rrr(Opcode::Cmplt), minus_one, 0, 0),
+            1,
+            "signed"
+        );
+        assert_eq!(
+            alu_result(&rrr(Opcode::Cmpult), minus_one, 0, 0),
+            0,
+            "unsigned"
+        );
         assert_eq!(alu_result(&rrr(Opcode::Cmpeq), 5, 5, 0), 1);
         assert_eq!(alu_result(&rri(Opcode::Cmplti, 0), minus_one, 0, 0), 1);
-        assert_eq!(alu_result(&rri(Opcode::Cmpulti, -1), 5, 0, 0), 1, "imm sign-extends");
+        assert_eq!(
+            alu_result(&rri(Opcode::Cmpulti, -1), 5, 0, 0),
+            1,
+            "imm sign-extends"
+        );
     }
 
     #[test]

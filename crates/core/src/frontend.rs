@@ -77,10 +77,11 @@ impl Simulator {
             self.contexts[ctx.index()].fetch_stall_until = access.ready_at;
         }
 
-        let prog = self.contexts[ctx.index()].prog.expect("fetching context bound");
+        let prog = self.contexts[ctx.index()]
+            .prog
+            .expect("fetching context bound");
         let line_end = (pc0 | (LINE_BYTES - 1)) + 1;
-        let ready_cycle =
-            self.cycle.max(access.ready_at) + 1 + self.config.decode_latency as u64;
+        let ready_cycle = self.cycle.max(access.ready_at) + 1 + self.config.decode_latency as u64;
         let is_alt = matches!(self.contexts[ctx.index()].state, CtxState::Alternate { .. });
         let alt_limit = self.config.alt_policy.limit() as u64;
 
@@ -99,12 +100,14 @@ impl Simulator {
             let word = self.programs[prog.index()].memory.read_u32(pc);
             let inst = Inst::decode(word).unwrap_or_else(Inst::halt);
             let (pred, next_pc, ends_block) = self.predict_next(ctx, &inst, pc);
-            self.contexts[ctx.index()].decode_pipe.push_back(FetchedInst {
-                ready_cycle,
-                pc,
-                inst,
-                pred,
-            });
+            self.contexts[ctx.index()]
+                .decode_pipe
+                .push_back(FetchedInst {
+                    ready_cycle,
+                    pc,
+                    inst,
+                    pred,
+                });
             self.contexts[ctx.index()].fetched_total += 1;
             self.stats.fetched += 1;
             fetched += 1;
@@ -158,8 +161,12 @@ impl Simulator {
                     self.contexts[ctx.index()].ras.push(fallthrough);
                 }
                 let history = self.contexts[ctx.index()].ghr.bits();
-                let pred =
-                    FetchPrediction { taken: true, target, history, confident: true };
+                let pred = FetchPrediction {
+                    taken: true,
+                    target,
+                    history,
+                    confident: true,
+                };
                 (Some(pred), target, true)
             }
             OperandClass::Jump => {
@@ -191,7 +198,9 @@ impl Simulator {
         let policy = self.config.alt_policy;
         for i in 0..self.contexts.len() {
             let c = &self.contexts[i];
-            let CtxState::Alternate { resolved: true, .. } = c.state else { continue };
+            let CtxState::Alternate { resolved: true, .. } = c.state else {
+                continue;
+            };
             let fetch_done = c.fetch_stopped
                 || !policy.fetch_after_resolve()
                 || c.fetched_total >= policy.limit() as u64;
@@ -257,16 +266,23 @@ impl Simulator {
             // 2. The primary's own retained squashed path.
             if let Some(mp) = self.contexts[ctx.index()].squash_merge {
                 if mp.pc == pc
-                    && self.contexts[ctx.index()].al.at_seq(mp.seq).is_some_and(|e| e.pc == pc)
-                    && self.start_context_stream(ctx, ctx, mp.seq, pc, false) {
-                        return true;
-                    }
+                    && self.contexts[ctx.index()]
+                        .al
+                        .at_seq(mp.seq)
+                        .is_some_and(|e| e.pc == pc)
+                    && self.start_context_stream(ctx, ctx, mp.seq, pc, false)
+                {
+                    return true;
+                }
             }
         }
         // 3. The thread's own backward-branch merge point (any thread).
         if let Some(mp) = self.contexts[ctx.index()].back_merge {
             if mp.pc == pc
-                && self.contexts[ctx.index()].al.at_seq(mp.seq).is_some_and(|e| e.pc == pc)
+                && self.contexts[ctx.index()]
+                    .al
+                    .at_seq(mp.seq)
+                    .is_some_and(|e| e.pc == pc)
             {
                 return self.start_context_stream(ctx, ctx, mp.seq, pc, true);
             }
@@ -303,7 +319,9 @@ impl Simulator {
                 // Reading live/retired entries: stop before the writer's
                 // first sequence (those entries get replaced one by one),
                 // and never let writes wrap onto unread slots.
-                end = end.min(w0).min(start_seq + cap.saturating_sub(w0 - start_seq));
+                end = end
+                    .min(w0)
+                    .min(start_seq + cap.saturating_sub(w0 - start_seq));
             } else {
                 // Reading the retained squashed region: the writer reuses
                 // exactly these sequence numbers but each slot is read
@@ -330,11 +348,14 @@ impl Simulator {
         // that prediction").
         let stream_ghr = self.contexts[target.index()].ghr;
         for seq in start_seq..end {
-            let Some(e) = self.contexts[source.index()].al.at_seq(seq) else { break };
+            let Some(e) = self.contexts[source.index()].al.at_seq(seq) else {
+                break;
+            };
             let (op, pc, taken) = (
                 e.inst.op,
                 e.pc,
-                e.taken_path.or(e.branch.as_ref().map(|b| b.predicted_taken)),
+                e.taken_path
+                    .or(e.branch.as_ref().map(|b| b.predicted_taken)),
             );
             match op {
                 Opcode::Jsr => self.contexts[target.index()].ras.push(pc + INST_BYTES),
@@ -342,7 +363,9 @@ impl Simulator {
                     self.contexts[target.index()].ras.pop();
                 }
                 _ if op.is_cond_branch() => {
-                    self.contexts[target.index()].ghr.push(taken.unwrap_or(false));
+                    self.contexts[target.index()]
+                        .ghr
+                        .push(taken.unwrap_or(false));
                 }
                 _ => {}
             }
@@ -386,10 +409,14 @@ impl Simulator {
 /// the trace followed for control instructions).
 pub(crate) fn entry_next_pc(e: &crate::active_list::AlEntry) -> u64 {
     let fallthrough = e.pc + INST_BYTES;
-    let Some(b) = &e.branch else { return fallthrough };
+    let Some(b) = &e.branch else {
+        return fallthrough;
+    };
     let taken = e.taken_path.unwrap_or(b.predicted_taken);
     if taken {
-        b.actual_target.filter(|_| b.resolved).unwrap_or(b.predicted_target)
+        b.actual_target
+            .filter(|_| b.resolved)
+            .unwrap_or(b.predicted_target)
     } else {
         fallthrough
     }

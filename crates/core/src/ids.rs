@@ -74,7 +74,14 @@ mod tests {
         assert_eq!(CtxId(3).to_string(), "ctx3");
         assert_eq!(ProgId(1).to_string(), "prog1");
         assert_eq!(InstTag(42).to_string(), "i42");
-        assert_eq!(PhysReg { fp: false, index: 7 }.to_string(), "pr7");
+        assert_eq!(
+            PhysReg {
+                fp: false,
+                index: 7
+            }
+            .to_string(),
+            "pr7"
+        );
         assert_eq!(PhysReg { fp: true, index: 7 }.to_string(), "pf7");
     }
 

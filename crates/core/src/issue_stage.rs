@@ -26,7 +26,11 @@ impl Simulator {
     /// functional-unit budgets. Stale entries (squashed or undispatched)
     /// are dropped.
     fn scan_queue(&mut self, fp_queue: bool, primary_budget: &mut usize, ls_budget: &mut usize) {
-        let len = if fp_queue { self.iq_fp.len() } else { self.iq_int.len() };
+        let len = if fp_queue {
+            self.iq_fp.len()
+        } else {
+            self.iq_int.len()
+        };
         let mut kept: VecDeque<IqEntry> = VecDeque::with_capacity(len);
         for _ in 0..len {
             let e = if fp_queue {
@@ -57,9 +61,9 @@ impl Simulator {
     fn classify(&self, e: &IqEntry, primary_budget: usize, ls_budget: usize) -> IqDisposition {
         let al = &self.contexts[e.ctx.index()].al;
         let valid = al.is_live(e.seq)
-            && al
-                .at_seq(e.seq)
-                .is_some_and(|a| a.tag == e.tag && !a.fetched_only && a.state == EntryState::Pending);
+            && al.at_seq(e.seq).is_some_and(|a| {
+                a.tag == e.tag && !a.fetched_only && a.state == EntryState::Pending
+            });
         if !valid {
             return IqDisposition::Drop;
         }
@@ -94,7 +98,10 @@ impl Simulator {
             self.regs.release(src);
         }
         let (pc, inst) = {
-            let e = self.contexts[ctx.index()].al.at_seq(iq.seq).expect("validated by caller");
+            let e = self.contexts[ctx.index()]
+                .al
+                .at_seq(iq.seq)
+                .expect("validated by caller");
             (e.pc, e.inst)
         };
         let op = inst.op;
@@ -103,8 +110,11 @@ impl Simulator {
         let (complete_at, result) = match op.operand_class() {
             OperandClass::CondBr => {
                 let taken = exec::branch_taken(&inst, a);
-                let target =
-                    if taken { inst.direct_target(pc) } else { pc + multipath_isa::INST_BYTES };
+                let target = if taken {
+                    inst.direct_target(pc)
+                } else {
+                    pc + multipath_isa::INST_BYTES
+                };
                 self.set_actual(ctx, iq.seq, taken, target);
                 (t0 + 1, None)
             }
@@ -120,7 +130,10 @@ impl Simulator {
                 let access = self.hierarchy.data_access(asid, addr, false, t0);
                 self.mdb.record_load(asid, pc, addr);
                 if let Some(e) = self.contexts[ctx.index()].al.at_seq_mut(iq.seq) {
-                    e.mem = Some(MemState { addr: Some(addr), store_value: 0 });
+                    e.mem = Some(MemState {
+                        addr: Some(addr),
+                        store_value: 0,
+                    });
                 }
                 (access.ready_at + 1, Some(value))
             }
@@ -137,7 +150,10 @@ impl Simulator {
                 self.contexts[ctx.index()].clear_pending_store(iq.tag);
                 self.mdb.store_invalidate(asid, addr, width);
                 if let Some(e) = self.contexts[ctx.index()].al.at_seq_mut(iq.seq) {
-                    e.mem = Some(MemState { addr: Some(addr), store_value: b });
+                    e.mem = Some(MemState {
+                        addr: Some(addr),
+                        store_value: b,
+                    });
                 }
                 (t0 + 1, None)
             }
@@ -166,7 +182,9 @@ impl Simulator {
         for i in 0..self.contexts.len() {
             let pending = self.contexts[i].pending_stores.clone();
             for (tag, seq) in pending {
-                let Some(e) = self.contexts[i].al.at_seq(seq) else { continue };
+                let Some(e) = self.contexts[i].al.at_seq(seq) else {
+                    continue;
+                };
                 if e.tag != tag || e.mem.is_some_and(|m| m.addr.is_some()) {
                     continue;
                 }
@@ -176,7 +194,10 @@ impl Simulator {
                 }
                 let addr = crate::exec::effective_address(&e.inst, self.regs.read(base_preg));
                 if let Some(e) = self.contexts[i].al.at_seq_mut(seq) {
-                    e.mem = Some(MemState { addr: Some(addr), store_value: 0 });
+                    e.mem = Some(MemState {
+                        addr: Some(addr),
+                        store_value: 0,
+                    });
                 }
             }
         }

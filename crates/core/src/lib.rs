@@ -51,9 +51,9 @@
 
 pub mod active_list;
 pub mod commit_stage;
-pub mod emulator;
 pub mod config;
 pub mod context;
+pub mod emulator;
 pub mod exec;
 pub mod frontend;
 pub mod ids;

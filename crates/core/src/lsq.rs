@@ -95,12 +95,7 @@ pub struct ForkLink {
 /// `chain` is the visibility chain starting with the loading context
 /// itself: `(ctx_queue, age_bound)` pairs, own context first (bounded by
 /// the load's tag), then each ancestor bounded by its fork tag.
-pub fn load_value(
-    memory: &Memory,
-    chain: &[(&StoreQueue, InstTag)],
-    addr: u64,
-    width: u8,
-) -> u64 {
+pub fn load_value(memory: &Memory, chain: &[(&StoreQueue, InstTag)], addr: u64, width: u8) -> u64 {
     debug_assert!(matches!(width, 1 | 4 | 8));
     let mut bytes = [0u8; 8];
     let w = width as usize;
@@ -146,7 +141,12 @@ mod tests {
     use super::*;
 
     fn st(tag: u64, addr: u64, width: u8, value: u64) -> StoreEntry {
-        StoreEntry { tag: InstTag(tag), addr, width, value }
+        StoreEntry {
+            tag: InstTag(tag),
+            addr,
+            width,
+            value,
+        }
     }
 
     #[test]

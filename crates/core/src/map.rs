@@ -18,7 +18,9 @@ pub struct MapTable {
 impl MapTable {
     /// Creates a table with `contexts` empty regions.
     pub fn new(contexts: usize) -> MapTable {
-        MapTable { regions: vec![[None; NUM_LOGICAL_REGS]; contexts] }
+        MapTable {
+            regions: vec![[None; NUM_LOGICAL_REGS]; contexts],
+        }
     }
 
     /// The current mapping of `reg` in `ctx`'s region.
@@ -29,8 +31,7 @@ impl MapTable {
     /// simulator seeds every logical register at program start, so a miss
     /// is a renaming bug.
     pub fn get(&self, ctx: CtxId, reg: Reg) -> PhysReg {
-        self.regions[ctx.index()][reg.index()]
-            .unwrap_or_else(|| panic!("unmapped {reg} in {ctx}"))
+        self.regions[ctx.index()][reg.index()].unwrap_or_else(|| panic!("unmapped {reg} in {ctx}"))
     }
 
     /// Overwrites the mapping of `reg` in `ctx`'s region, returning the
@@ -66,7 +67,10 @@ mod tests {
     use multipath_isa::IntReg;
 
     fn preg(i: u16) -> PhysReg {
-        PhysReg { fp: false, index: i }
+        PhysReg {
+            fp: false,
+            index: i,
+        }
     }
 
     #[test]

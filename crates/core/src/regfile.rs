@@ -58,7 +58,10 @@ pub struct RegFiles {
 impl RegFiles {
     /// Creates files with the given capacities.
     pub fn new(phys_int: usize, phys_fp: usize) -> RegFiles {
-        RegFiles { int: Bank::new(phys_int), fp: Bank::new(phys_fp) }
+        RegFiles {
+            int: Bank::new(phys_int),
+            fp: Bank::new(phys_fp),
+        }
     }
 
     fn bank(&self, fp: bool) -> &Bank {
@@ -159,7 +162,10 @@ impl RegFiles {
                 bank.values.len()
             );
             for &idx in &bank.free {
-                assert_eq!(bank.refcount[idx as usize], 0, "{name} free list holds live register");
+                assert_eq!(
+                    bank.refcount[idx as usize], 0,
+                    "{name} free list holds live register"
+                );
             }
         }
     }

@@ -24,8 +24,7 @@ impl Simulator {
     pub(crate) fn rename_stage(&mut self) {
         let mut budget = self.config.rename_width;
         let icounts = self.icounts();
-        let mut order: Vec<CtxId> =
-            (0..self.contexts.len()).map(|i| CtxId(i as u8)).collect();
+        let mut order: Vec<CtxId> = (0..self.contexts.len()).map(|i| CtxId(i as u8)).collect();
         order.sort_by_key(|c| icounts[c.index()]);
 
         // Phase A: fetched-path instructions. A thread with an active
@@ -110,11 +109,16 @@ impl Simulator {
             {
                 break;
             }
-            let Some(item) = self.contexts[ctx.index()].decode_pipe.front() else { break };
+            let Some(item) = self.contexts[ctx.index()].decode_pipe.front() else {
+                break;
+            };
             if item.ready_cycle > self.cycle {
                 break;
             }
-            let item = self.contexts[ctx.index()].decode_pipe.pop_front().expect("peeked");
+            let item = self.contexts[ctx.index()]
+                .decode_pipe
+                .pop_front()
+                .expect("peeked");
             match self.rename_one(ctx, item.pc, &item.inst, item.pred, false) {
                 Ok(()) => {
                     budget -= 1;
@@ -138,7 +142,9 @@ impl Simulator {
             if self.alternate_cap_hit(ctx) {
                 break;
             }
-            let Some(stream) = &self.contexts[ctx.index()].recycle_stream else { break };
+            let Some(stream) = &self.contexts[ctx.index()].recycle_stream else {
+                break;
+            };
             let expected_pc = stream.expected_pc;
             let reuse_allowed = stream.reuse_allowed;
 
@@ -164,7 +170,9 @@ impl Simulator {
                     let Some(stream) = &mut self.contexts[ctx.index()].recycle_stream else {
                         break;
                     };
-                    let StreamSource::Buffer(buf) = &mut stream.source else { unreachable!() };
+                    let StreamSource::Buffer(buf) = &mut stream.source else {
+                        unreachable!()
+                    };
                     match buf.pop_front() {
                         Some(e) if e.pc == expected_pc => (e, None),
                         Some(_) => {
@@ -454,8 +462,13 @@ impl Simulator {
             let pc = entry.pc;
             let val = self.regs.read(preg);
             let sseq = entry.seq;
-            self.contexts[ctx.index()]
-                .log_fe(cyc, format!("reuse {} pc={pc:#x} src ctx{} seq{} val={val}", entry.inst, _source.0, sseq));
+            self.contexts[ctx.index()].log_fe(
+                cyc,
+                format!(
+                    "reuse {} pc={pc:#x} src ctx{} seq{} val={val}",
+                    entry.inst, _source.0, sseq
+                ),
+            );
         }
         debug_assert_eq!(entry.pc, self.contexts[ctx.index()].al_next_pc);
         self.contexts[ctx.index()].al.insert(new);
@@ -502,8 +515,7 @@ impl Simulator {
         let is_fp_queue = matches!(fu, FuClass::FpAdd | FuClass::FpMul | FuClass::FpDiv);
         // Instructions that never enter the queue: nop/halt (no work),
         // br (resolved at fetch), jsr (link value computed at rename).
-        let skips_queue =
-            matches!(op, Opcode::Nop | Opcode::Halt | Opcode::Br | Opcode::Jsr);
+        let skips_queue = matches!(op, Opcode::Nop | Opcode::Halt | Opcode::Br | Opcode::Jsr);
         let fetched_only = matches!(
             self.contexts[ctx.index()].state,
             CtxState::Alternate { resolved: true, .. }
@@ -655,8 +667,10 @@ impl Simulator {
         #[cfg(debug_assertions)]
         {
             let cyc = self.cycle;
-            self.contexts[ctx.index()]
-                .log_fe(cyc, format!("rename {inst} pc={pc:#x} next={next_pc:#x} seq={seq} rec={recycled}"));
+            self.contexts[ctx.index()].log_fe(
+                cyc,
+                format!("rename {inst} pc={pc:#x} next={next_pc:#x} seq={seq} rec={recycled}"),
+            );
         }
 
         // Backward-branch merge point (Section 3.2): a taken backward
@@ -675,7 +689,13 @@ impl Simulator {
 
         // Dispatch.
         if needs_queue {
-            let iq = IqEntry { ctx, seq, tag, srcs, fu };
+            let iq = IqEntry {
+                ctx,
+                seq,
+                tag,
+                srcs,
+                fu,
+            };
             if is_fp_queue {
                 self.iq_fp.push_back(iq);
             } else {
@@ -744,7 +764,11 @@ impl Simulator {
             self.stats.fork_refused_cap += 1;
             return;
         }
-        let alt_pc = if pred.taken { pc + INST_BYTES } else { inst.direct_target(pc) };
+        let alt_pc = if pred.taken {
+            pc + INST_BYTES
+        } else {
+            inst.direct_target(pc)
+        };
         let tag = self.contexts[ctx.index()]
             .al
             .at_seq(branch_seq)
@@ -770,7 +794,10 @@ impl Simulator {
                         self.contexts[c.index()].state,
                         CtxState::Inactive | CtxState::Alternate { resolved: true, .. }
                     )
-                    && self.contexts[c.index()].al.at_seq(0).is_some_and(|e| e.pc == alt_pc)
+                    && self.contexts[c.index()]
+                        .al
+                        .at_seq(0)
+                        .is_some_and(|e| e.pc == alt_pc)
             });
             if let Some(c) = stopped_same_start {
                 if f.respawn {

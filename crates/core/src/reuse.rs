@@ -23,7 +23,9 @@ pub struct WrittenBits {
 impl WrittenBits {
     /// Creates the array for `contexts` columns, all clear.
     pub fn new(contexts: usize) -> WrittenBits {
-        WrittenBits { bits: vec![[false; NUM_LOGICAL_REGS]; contexts] }
+        WrittenBits {
+            bits: vec![[false; NUM_LOGICAL_REGS]; contexts],
+        }
     }
 
     /// Resets a context's column (a new path starts on it).
@@ -72,12 +74,19 @@ impl Mdb {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Mdb {
         assert!(capacity > 0, "MDB capacity must be positive");
-        Mdb { entries: Vec::with_capacity(capacity), capacity }
+        Mdb {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+        }
     }
 
     /// Records an executed load.
     pub fn record_load(&mut self, asid: Asid, pc: u64, addr: u64) {
-        if let Some(e) = self.entries.iter_mut().find(|e| e.asid == asid && e.pc == pc) {
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.asid == asid && e.pc == pc)
+        {
             e.addr = addr;
             return;
         }

@@ -155,13 +155,19 @@ impl Simulator {
             .map(|(p, program)| {
                 let mut memory = Memory::new();
                 program.load_into(&mut memory);
-                ProgramInstance { program, memory, asid: Asid(p as u16), finished: false }
+                ProgramInstance {
+                    program,
+                    memory,
+                    asid: Asid(p as u16),
+                    finished: false,
+                }
             })
             .collect();
 
         for (p, inst) in instances.iter().enumerate() {
-            let members: Vec<CtxId> =
-                (p * group_size..(p + 1) * group_size).map(|i| CtxId(i as u8)).collect();
+            let members: Vec<CtxId> = (p * group_size..(p + 1) * group_size)
+                .map(|i| CtxId(i as u8))
+                .collect();
             let primary = members[0];
             // Seed the primary context's architectural state.
             for idx in 0..multipath_isa::NUM_LOGICAL_REGS {
@@ -169,7 +175,11 @@ impl Simulator {
                 let preg = regs
                     .alloc(!reg.is_int())
                     .expect("physical files sized for all contexts");
-                let value = if reg == Reg::Int(IntReg::SP) { inst.program.initial_sp } else { 0 };
+                let value = if reg == Reg::Int(IntReg::SP) {
+                    inst.program.initial_sp
+                } else {
+                    0
+                };
                 regs.write(preg, value);
                 map.set(primary, reg, preg);
             }
@@ -191,7 +201,11 @@ impl Simulator {
             prim.state = crate::context::CtxState::Primary;
             prim.fetch_pc = inst.program.entry;
             prim.al_next_pc = inst.program.entry;
-            groups.push(Group { prog: ProgId(p as u16), members, primary });
+            groups.push(Group {
+                prog: ProgId(p as u16),
+                members,
+                primary,
+            });
         }
 
         let stats = Stats::new(instances.len());
@@ -321,7 +335,10 @@ impl Simulator {
             (
                 c.state,
                 c.al.live(),
-                c.recycle_stream.as_ref().map(|s| s.remaining()).unwrap_or(0),
+                c.recycle_stream
+                    .as_ref()
+                    .map(|s| s.remaining())
+                    .unwrap_or(0),
             )
         })
     }
@@ -331,7 +348,9 @@ impl Simulator {
         use std::fmt::Write as _;
         let mut out = String::new();
         for c in &self.contexts {
-            let front = c.al.front().map(|e| format!("{}@{:#x}[{:?}]", e.inst, e.pc, e.state));
+            let front =
+                c.al.front()
+                    .map(|e| format!("{}@{:#x}[{:?}]", e.inst, e.pc, e.state));
             let _ = writeln!(
                 out,
                 "  {} {:?} pc={:#x} live={} pipe={} stream={} inflight={} gate={:?} stall={} stopped={} front={:?}",
@@ -428,7 +447,9 @@ impl Simulator {
 
     /// The address-space id of the program a context runs.
     pub(crate) fn asid_of(&self, ctx: CtxId) -> Asid {
-        let prog = self.contexts[ctx.index()].prog.expect("context has no program");
+        let prog = self.contexts[ctx.index()]
+            .prog
+            .expect("context has no program");
         self.programs[prog.index()].asid
     }
 
@@ -454,7 +475,9 @@ impl Simulator {
     /// Reads the value a load would see: own store queue, then ancestor
     /// queues bounded by fork tags, then committed memory.
     pub(crate) fn read_visible(&self, ctx: CtxId, tag: InstTag, addr: u64, width: u8) -> u64 {
-        let prog = self.contexts[ctx.index()].prog.expect("load on unbound context");
+        let prog = self.contexts[ctx.index()]
+            .prog
+            .expect("load on unbound context");
         let memory = &self.programs[prog.index()].memory;
         let mut chain: Vec<(&crate::lsq::StoreQueue, InstTag)> = Vec::with_capacity(4);
         let mut cur = ctx;
@@ -566,8 +589,10 @@ mod tests {
     #[test]
     fn halt_program_finishes() {
         let p = trivial_program(vec![Inst::halt().encode()]);
-        let mut sim =
-            Simulator::new(SimConfig::big_2_16().with_features(Features::smt()), vec![p]);
+        let mut sim = Simulator::new(
+            SimConfig::big_2_16().with_features(Features::smt()),
+            vec![p],
+        );
         sim.run(1_000, 10_000);
         assert!(sim.program_finished(ProgId(0)));
         assert!(sim.cycle() < 1_000, "a single halt should finish quickly");

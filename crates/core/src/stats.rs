@@ -71,7 +71,10 @@ pub struct Stats {
 impl Stats {
     /// Creates zeroed statistics for `programs` programs.
     pub fn new(programs: usize) -> Stats {
-        Stats { committed_per_program: vec![0; programs], ..Stats::default() }
+        Stats {
+            committed_per_program: vec![0; programs],
+            ..Stats::default()
+        }
     }
 
     /// Instructions per cycle over the whole run.

@@ -69,7 +69,10 @@ impl Simulator {
                 );
                 let linked_inactive = self.contexts[alt.index()].state == CtxState::Inactive
                     && self.contexts[alt.index()].fork_link
-                        == Some(crate::lsq::ForkLink { parent: ctx, fork_tag: tag });
+                        == Some(crate::lsq::ForkLink {
+                            parent: ctx,
+                            fork_tag: tag,
+                        });
                 if attached {
                     self.release_alternate(alt);
                 } else if linked_inactive {
@@ -162,9 +165,10 @@ impl Simulator {
     /// reclaimable inactive context.
     pub(crate) fn pick_spare(&mut self, parent: CtxId) -> Option<CtxId> {
         let members = self.group_of(parent).members.clone();
-        if let Some(&idle) = members.iter().find(|&&c| {
-            self.contexts[c.index()].state == CtxState::Idle && c != parent
-        }) {
+        if let Some(&idle) = members
+            .iter()
+            .find(|&&c| self.contexts[c.index()].state == CtxState::Idle && c != parent)
+        {
             return Some(idle);
         }
         if !self.config.features.recycle {
@@ -194,8 +198,7 @@ impl Simulator {
         };
         let victim = pick(self, &|c| c.reclaimable()).or_else(|| {
             pick(self, &|c| {
-                matches!(c.state, CtxState::Alternate { resolved: true, .. })
-                    && c.in_flight == 0
+                matches!(c.state, CtxState::Alternate { resolved: true, .. }) && c.in_flight == 0
             })
         });
         if let Some(v) = victim {
@@ -226,7 +229,11 @@ impl Simulator {
         let group = self.contexts[parent.index()].group;
         let cycle = self.cycle;
         let c = &mut self.contexts[alt.index()];
-        c.state = CtxState::Alternate { parent, fork_tag, resolved: false };
+        c.state = CtxState::Alternate {
+            parent,
+            fork_tag,
+            resolved: false,
+        };
         c.prog = prog;
         c.group = group;
         c.fetch_pc = alt_pc;
@@ -245,7 +252,10 @@ impl Simulator {
         c.back_merge = None;
         c.squash_merge = None;
         c.fetched_total = 0;
-        c.path = crate::context::PathRecord { live: true, ..Default::default() };
+        c.path = crate::context::PathRecord {
+            live: true,
+            ..Default::default()
+        };
         c.last_used = cycle;
         c.log_fe(cycle, format!("fork-into start {alt_pc:#x}"));
         self.stats.forks += 1;
@@ -273,7 +283,9 @@ impl Simulator {
         let mut buffer: VecDeque<AlEntry> = VecDeque::new();
         let mut expected: Option<u64> = None;
         for seq in 0..next {
-            let Some(e) = self.contexts[alt.index()].al.at_seq(seq) else { break };
+            let Some(e) = self.contexts[alt.index()].al.at_seq(seq) else {
+                break;
+            };
             if expected.is_some_and(|pc| pc != e.pc) {
                 break;
             }
@@ -286,7 +298,9 @@ impl Simulator {
         // region, which the fork-copy below releases. Walk the *whole*
         // retained trace, not just the replayed prefix.
         for seq in 0..next {
-            let Some(e) = self.contexts[alt.index()].al.at_seq(seq) else { continue };
+            let Some(e) = self.contexts[alt.index()].al.at_seq(seq) else {
+                continue;
+            };
             if e.regs_held {
                 if let Some(old) = e.old_preg {
                     self.regs.release(old);
@@ -346,8 +360,10 @@ impl Simulator {
         c.fetch_pc = resume_pc;
         c.al_next_pc = start_pc;
         let cyc = self.cycle;
-        self.contexts[alt.index()]
-            .log_fe(cyc, format!("respawn start {start_pc:#x} resume {resume_pc:#x}"));
+        self.contexts[alt.index()].log_fe(
+            cyc,
+            format!("respawn start {start_pc:#x} resume {resume_pc:#x}"),
+        );
         self.stats.forks += 1;
         self.stats.respawns += 1;
     }
@@ -372,7 +388,10 @@ impl Simulator {
             c.last_used = cycle;
             if let Some(e) = c.al.at_seq(branch_seq + 1) {
                 let pc = e.pc;
-                c.squash_merge = Some(crate::context::MergePoint { seq: branch_seq + 1, pc });
+                c.squash_merge = Some(crate::context::MergePoint {
+                    seq: branch_seq + 1,
+                    pc,
+                });
             } else {
                 c.squash_merge = None;
             }
@@ -392,7 +411,8 @@ impl Simulator {
                 .filter_map(|s| al.at_seq(s).and_then(|e| e.dest))
                 .collect();
             for d in dests {
-                self.written.set_row(d, members.iter().copied().filter(|&c| c != alt));
+                self.written
+                    .set_row(d, members.iter().copied().filter(|&c| c != alt));
             }
         }
         let cyc = self.cycle;

@@ -90,10 +90,10 @@ pub fn sample_window(sim: &mut Simulator, cycles: u64) -> Vec<CycleSample> {
                 state: match state {
                     CtxState::Idle => CtxStateKind::Idle,
                     CtxState::Primary => CtxStateKind::Primary,
-                    CtxState::Alternate { resolved: false, .. } => CtxStateKind::Alternate,
-                    CtxState::Alternate { resolved: true, .. } => {
-                        CtxStateKind::AlternateResolved
-                    }
+                    CtxState::Alternate {
+                        resolved: false, ..
+                    } => CtxStateKind::Alternate,
+                    CtxState::Alternate { resolved: true, .. } => CtxStateKind::AlternateResolved,
                     CtxState::Draining => CtxStateKind::Draining,
                     CtxState::Inactive => CtxStateKind::Inactive,
                 },
@@ -116,7 +116,9 @@ pub fn sample_window(sim: &mut Simulator, cycles: u64) -> Vec<CycleSample> {
 /// Renders samples as a text timeline (one row per `stride` cycles).
 pub fn render_timeline(samples: &[CycleSample], stride: usize) -> String {
     let mut out = String::new();
-    let Some(first) = samples.first() else { return out };
+    let Some(first) = samples.first() else {
+        return out;
+    };
     out.push_str(&format!("{:>8}  ", "cycle"));
     for i in 0..first.contexts.len() {
         out.push_str(&format!("{:<9}", format!("ctx{i}")));
@@ -149,8 +151,7 @@ mod tests {
     #[test]
     fn sampling_tracks_work() {
         let config = SimConfig::big_2_16().with_features(Features::rec_rs_ru());
-        let mut sim =
-            Simulator::new(config, vec![kernels::build(Benchmark::Compress, 1)]);
+        let mut sim = Simulator::new(config, vec![kernels::build(Benchmark::Compress, 1)]);
         // Warm up, then sample.
         sim.run(2_000, 100_000);
         let start_committed = sim.stats().committed;
@@ -160,8 +161,9 @@ mod tests {
         assert_eq!(total, sim.stats().committed - start_committed);
         assert!(samples.iter().any(|s| s.fetched > 0));
         assert!(
-            samples.iter().any(|s| s.contexts.iter().any(|c| c.state
-                != CtxStateKind::Idle)),
+            samples
+                .iter()
+                .any(|s| s.contexts.iter().any(|c| c.state != CtxStateKind::Idle)),
             "something must be running"
         );
     }

@@ -20,8 +20,7 @@ impl Simulator {
             self.contexts[ev.ctx.index()].in_flight =
                 self.contexts[ev.ctx.index()].in_flight.saturating_sub(1);
             let al = &self.contexts[ev.ctx.index()].al;
-            let valid =
-                al.is_live(ev.seq) && al.at_seq(ev.seq).is_some_and(|e| e.tag == ev.tag);
+            let valid = al.is_live(ev.seq) && al.at_seq(ev.seq).is_some_and(|e| e.tag == ev.tag);
             if !valid {
                 // The instruction was squashed in flight; its registers
                 // were already reclaimed.
@@ -49,9 +48,8 @@ impl Simulator {
                 .is_some_and(|b| {
                     !b.resolved
                         && b.actual_taken == Some(b.predicted_taken)
-                        && b.actual_target.is_none_or(|t| {
-                            !b.predicted_taken || t == b.predicted_target
-                        })
+                        && b.actual_target
+                            .is_none_or(|t| !b.predicted_taken || t == b.predicted_target)
                 });
             if correct {
                 self.resolve_branch(ev.ctx, ev.seq);
@@ -101,8 +99,21 @@ impl Simulator {
     /// misprediction either swaps in the covering alternate path or
     /// squashes and redirects this context.
     fn resolve_branch(&mut self, ctx: CtxId, seq: u64) {
-        let (pc, class, predicted_taken, predicted_target, history, fork, actual_taken, actual_target, tag) = {
-            let e = self.contexts[ctx.index()].al.at_seq_mut(seq).expect("resolving live entry");
+        let (
+            pc,
+            class,
+            predicted_taken,
+            predicted_target,
+            history,
+            fork,
+            actual_taken,
+            actual_target,
+            tag,
+        ) = {
+            let e = self.contexts[ctx.index()]
+                .al
+                .at_seq_mut(seq)
+                .expect("resolving live entry");
             let b = e.branch.as_mut().expect("control entry");
             b.resolved = true;
             let actual_taken = b.actual_taken.expect("set at execute");
@@ -135,7 +146,8 @@ impl Simulator {
                 if was_recycled {
                     self.stats.branches_recycled += 1;
                 }
-                self.predictor.update(pc, history, actual_taken, predicted_taken);
+                self.predictor
+                    .update(pc, history, actual_taken, predicted_taken);
                 if actual_taken {
                     self.predictor.update_target(pc, actual_target);
                 }
@@ -199,9 +211,11 @@ impl Simulator {
         c.fetch_stall_until = cycle + 1;
         c.fetch_stopped = false;
         c.squash_merge = if recycle {
-            c.al
-                .at_seq(branch_seq + 1)
-                .map(|e| crate::context::MergePoint { seq: branch_seq + 1, pc: e.pc })
+            c.al.at_seq(branch_seq + 1)
+                .map(|e| crate::context::MergePoint {
+                    seq: branch_seq + 1,
+                    pc: e.pc,
+                })
         } else {
             None
         };
@@ -215,9 +229,15 @@ impl Simulator {
             self.release_alternate(alt);
             return;
         }
-        if let CtxState::Alternate { parent, fork_tag, .. } = self.contexts[alt.index()].state {
-            self.contexts[alt.index()].state =
-                CtxState::Alternate { parent, fork_tag, resolved: true };
+        if let CtxState::Alternate {
+            parent, fork_tag, ..
+        } = self.contexts[alt.index()].state
+        {
+            self.contexts[alt.index()].state = CtxState::Alternate {
+                parent,
+                fork_tag,
+                resolved: true,
+            };
         }
         match self.config.alt_policy {
             AltPolicy::Stop(_) => {
@@ -242,7 +262,11 @@ impl Simulator {
     /// squashing them: they stay in the trace as fetched-only entries.
     pub(crate) fn undispatch(&mut self, ctx: CtxId) {
         for fp in [false, true] {
-            let len = if fp { self.iq_fp.len() } else { self.iq_int.len() };
+            let len = if fp {
+                self.iq_fp.len()
+            } else {
+                self.iq_int.len()
+            };
             for _ in 0..len {
                 let e = if fp {
                     self.iq_fp.pop_front().expect("len checked")
@@ -287,5 +311,4 @@ impl Simulator {
             }
         }
     }
-
 }

@@ -8,9 +8,10 @@ use multipath_core::{Features, ProgId, SimConfig, Simulator};
 include!("common/checksum.rs");
 
 fn run_and_dump(features: Features, seed: u64) -> Vec<u64> {
-    let mut sim = Simulator::new(SimConfig::big_2_16().with_features(features), vec![
-        checksum_program(seed),
-    ]);
+    let mut sim = Simulator::new(
+        SimConfig::big_2_16().with_features(features),
+        vec![checksum_program(seed)],
+    );
     sim.run(u64::MAX, 400_000);
     assert!(
         sim.program_finished(ProgId(0)),
@@ -19,7 +20,9 @@ fn run_and_dump(features: Features, seed: u64) -> Vec<u64> {
         sim.cycle()
     );
     let mem = sim.program_memory(ProgId(0));
-    (0..64).map(|i| mem.read_u64(0x10_0000 + 256 * 8 + i * 8)).collect()
+    (0..64)
+        .map(|i| mem.read_u64(0x10_0000 + 256 * 8 + i * 8))
+        .collect()
 }
 
 #[test]
@@ -42,15 +45,21 @@ fn all_configurations_compute_identical_results() {
 #[test]
 fn machine_models_compute_identical_results() {
     let reference = run_and_dump(Features::smt(), 3);
-    for config in [SimConfig::big_1_8(), SimConfig::small_2_8(), SimConfig::small_1_8()] {
-        let mut sim = Simulator::new(config.with_features(Features::rec_rs_ru()), vec![
-            checksum_program(3),
-        ]);
+    for config in [
+        SimConfig::big_1_8(),
+        SimConfig::small_2_8(),
+        SimConfig::small_1_8(),
+    ] {
+        let mut sim = Simulator::new(
+            config.with_features(Features::rec_rs_ru()),
+            vec![checksum_program(3)],
+        );
         sim.run(u64::MAX, 600_000);
         assert!(sim.program_finished(ProgId(0)));
         let mem = sim.program_memory(ProgId(0));
-        let got: Vec<u64> =
-            (0..64).map(|i| mem.read_u64(0x10_0000 + 256 * 8 + i * 8)).collect();
+        let got: Vec<u64> = (0..64)
+            .map(|i| mem.read_u64(0x10_0000 + 256 * 8 + i * 8))
+            .collect();
         assert_eq!(got, reference);
     }
 }

@@ -84,12 +84,12 @@ fn floating_point_pipeline() {
 fn indirect_jump_through_register() {
     let emu = run(|a, _| {
         a.li(R1, 0); // result flag
-        // Compute the address of "target" and jump to it.
+                     // Compute the address of "target" and jump to it.
         a.li(R2, 0x1_0000 + 6 * 4); // instruction index 6 (the label below)
         a.jmp(R2);
         a.li(R1, 111); // skipped
         a.halt(); //     skipped
-        // index 6:
+                  // index 6:
         a.li(R1, 222);
         a.halt();
     });

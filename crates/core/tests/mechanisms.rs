@@ -49,16 +49,26 @@ fn hard_hammock_loop(seed: u64) -> Program {
 }
 
 fn run(p: Program, features: Features, policy: AltPolicy, commits: u64) -> Stats {
-    let config =
-        SimConfig::big_2_16().with_features(features).with_alt_policy(policy);
+    let config = SimConfig::big_2_16()
+        .with_features(features)
+        .with_alt_policy(policy);
     let mut sim = Simulator::new(config, vec![p]);
     sim.run(commits, commits * 200).clone()
 }
 
 #[test]
 fn tme_covers_mispredictions_on_unpredictable_branches() {
-    let stats = run(hard_hammock_loop(3), Features::tme(), AltPolicy::Stop(8), 10_000);
-    assert!(stats.forks > 100, "the hard branch must fork ({} forks)", stats.forks);
+    let stats = run(
+        hard_hammock_loop(3),
+        Features::tme(),
+        AltPolicy::Stop(8),
+        10_000,
+    );
+    assert!(
+        stats.forks > 100,
+        "the hard branch must fork ({} forks)",
+        stats.forks
+    );
     assert!(stats.mispredicts > 100);
     assert!(
         stats.pct_miss_covered() > 40.0,
@@ -70,7 +80,12 @@ fn tme_covers_mispredictions_on_unpredictable_branches() {
 
 #[test]
 fn smt_never_forks() {
-    let stats = run(hard_hammock_loop(3), Features::smt(), AltPolicy::Stop(8), 5_000);
+    let stats = run(
+        hard_hammock_loop(3),
+        Features::smt(),
+        AltPolicy::Stop(8),
+        5_000,
+    );
     assert_eq!(stats.forks, 0);
     assert_eq!(stats.mispredicts_covered, 0);
     assert_eq!(stats.merges, 0);
@@ -94,17 +109,39 @@ fn backward_branch_recycling_kicks_in_on_tight_loops() {
         a.br("loop");
     });
     let stats = run(p, Features::rec_rs_ru(), AltPolicy::Stop(8), 10_000);
-    assert!(stats.back_merges > 50, "tight loop should self-recycle: {}", stats.back_merges);
-    assert!(stats.pct_recycled() > 30.0, "got {:.1}%", stats.pct_recycled());
+    assert!(
+        stats.back_merges > 50,
+        "tight loop should self-recycle: {}",
+        stats.back_merges
+    );
+    assert!(
+        stats.pct_recycled() > 30.0,
+        "got {:.1}%",
+        stats.pct_recycled()
+    );
 }
 
 #[test]
 fn respawning_reactivates_inactive_paths() {
-    let stats = run(hard_hammock_loop(5), Features::rec_rs(), AltPolicy::Stop(8), 15_000);
-    assert!(stats.respawns > 20, "hot single-site forking should respawn: {}", stats.respawns);
+    let stats = run(
+        hard_hammock_loop(5),
+        Features::rec_rs(),
+        AltPolicy::Stop(8),
+        15_000,
+    );
+    assert!(
+        stats.respawns > 20,
+        "hot single-site forking should respawn: {}",
+        stats.respawns
+    );
     assert!(stats.forks_respawned > 0);
     // Without RS the same workload respawns nothing.
-    let no_rs = run(hard_hammock_loop(5), Features::rec(), AltPolicy::Stop(8), 15_000);
+    let no_rs = run(
+        hard_hammock_loop(5),
+        Features::rec(),
+        AltPolicy::Stop(8),
+        15_000,
+    );
     assert_eq!(no_rs.respawns, 0);
     assert!(
         no_rs.forks_suppressed > 0,
@@ -148,7 +185,12 @@ fn reuse_fires_when_operands_are_genuinely_unchanged() {
     let stats = run(p, Features::rec_rs_ru(), AltPolicy::Stop(8), 20_000);
     assert!(stats.reused > 0, "invariant hammock sides should be reused");
     // And reuse is indeed off without the RU feature.
-    let no_ru = run(hard_hammock_loop(11), Features::rec_rs(), AltPolicy::Stop(8), 10_000);
+    let no_ru = run(
+        hard_hammock_loop(11),
+        Features::rec_rs(),
+        AltPolicy::Stop(8),
+        10_000,
+    );
     assert_eq!(no_ru.reused, 0);
 }
 
@@ -157,8 +199,18 @@ fn alternate_policies_bound_alternate_work() {
     // Under stop-8, each forked path holds at most 8 instructions, so the
     // wrong-path (squashed + never-committed) volume is bounded relative
     // to nostop-32 on the same workload.
-    let stop = run(hard_hammock_loop(7), Features::tme(), AltPolicy::Stop(8), 10_000);
-    let nostop = run(hard_hammock_loop(7), Features::tme(), AltPolicy::NoStop(32), 10_000);
+    let stop = run(
+        hard_hammock_loop(7),
+        Features::tme(),
+        AltPolicy::Stop(8),
+        10_000,
+    );
+    let nostop = run(
+        hard_hammock_loop(7),
+        Features::tme(),
+        AltPolicy::NoStop(32),
+        10_000,
+    );
     let waste = |s: &Stats| (s.renamed - s.committed) as f64 / s.committed as f64;
     assert!(
         waste(&stop) < waste(&nostop),
@@ -175,8 +227,7 @@ fn recycled_instructions_bypass_fetch() {
     let p = |seed| hard_hammock_loop(seed);
     let tme = run(p(9), Features::tme(), AltPolicy::Stop(8), 15_000);
     let rec = run(p(9), Features::rec_rs_ru(), AltPolicy::Stop(8), 15_000);
-    let fetch_per_renamed =
-        |s: &Stats| s.fetched as f64 / s.renamed as f64;
+    let fetch_per_renamed = |s: &Stats| s.fetched as f64 / s.renamed as f64;
     assert!(rec.recycled > 0);
     assert!(
         fetch_per_renamed(&rec) < fetch_per_renamed(&tme),

@@ -8,7 +8,12 @@ use multipath_core::InstTag;
 use multipath_mem::Memory;
 
 fn st(tag: u64, addr: u64, width: u8, value: u64) -> StoreEntry {
-    StoreEntry { tag: InstTag(tag), addr, width, value }
+    StoreEntry {
+        tag: InstTag(tag),
+        addr,
+        width,
+        value,
+    }
 }
 
 #[test]

@@ -62,16 +62,15 @@ fn all_policies_preserve_architecture() {
             .with_features(Features::rec_rs_ru())
             .with_alt_policy(policy);
         let program = micro::build(
-            &micro::MicroParams { loop_body: 24, ..Default::default() },
+            &micro::MicroParams {
+                loop_body: 24,
+                ..Default::default()
+            },
             9,
         );
         let mut sim = Simulator::new(config, vec![program]);
         sim.attach_reference(multipath_core::ProgId(0));
         let stats = sim.run(3_000, 600_000);
-        assert!(
-            stats.committed >= 3_000,
-            "{}: starved",
-            policy.label()
-        );
+        assert!(stats.committed >= 3_000, "{}: starved", policy.label());
     }
 }

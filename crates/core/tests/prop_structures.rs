@@ -5,7 +5,7 @@
 use multipath_core::active_list::{ActiveList, AlEntry, EntryState};
 use multipath_core::ids::{InstTag, PhysReg};
 use multipath_core::regfile::RegFiles;
-use proptest::prelude::*;
+use multipath_testkit::{prop_assert, prop_assert_eq, prop_test, Shrink, TestRng};
 use std::collections::VecDeque;
 
 fn entry(pc: u64, tag: u64) -> AlEntry {
@@ -37,22 +37,20 @@ enum AlOp {
     SquashTail(u64),
 }
 
-fn al_ops() -> impl Strategy<Value = Vec<AlOp>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0u64..0x1000).prop_map(AlOp::Insert),
-            Just(AlOp::Commit),
-            (0u64..8).prop_map(AlOp::SquashTail),
-        ],
-        1..120,
-    )
+impl Shrink for AlOp {}
+
+fn al_op(rng: &mut TestRng) -> AlOp {
+    match rng.below(3) {
+        0 => AlOp::Insert(rng.below(0x1000)),
+        1 => AlOp::Commit,
+        _ => AlOp::SquashTail(rng.below(8)),
+    }
 }
 
-proptest! {
+prop_test! {
     /// The active list's live region behaves exactly like a bounded deque,
     /// and retained entries stay readable until their slot is reused.
-    #[test]
-    fn active_list_matches_deque_model(ops in al_ops()) {
+    fn active_list_matches_deque_model(ops in |rng: &mut TestRng| rng.vec(1..120, al_op)) {
         const CAP: usize = 8;
         let mut al = ActiveList::new(CAP);
         // Model: deque of (seq, pc) for live entries.
@@ -114,24 +112,22 @@ enum RfOp {
     Write(usize, u64),
 }
 
-fn rf_ops() -> impl Strategy<Value = Vec<RfOp>> {
-    prop::collection::vec(
-        prop_oneof![
-            any::<bool>().prop_map(RfOp::Alloc),
-            (0usize..16).prop_map(RfOp::AddRef),
-            (0usize..16).prop_map(RfOp::Release),
-            (0usize..16, any::<u64>()).prop_map(|(i, v)| RfOp::Write(i, v)),
-        ],
-        1..200,
-    )
+impl Shrink for RfOp {}
+
+fn rf_op(rng: &mut TestRng) -> RfOp {
+    match rng.below(4) {
+        0 => RfOp::Alloc(rng.next_bool()),
+        1 => RfOp::AddRef(rng.len_in(0..16)),
+        2 => RfOp::Release(rng.len_in(0..16)),
+        _ => RfOp::Write(rng.len_in(0..16), rng.next_u64()),
+    }
 }
 
-proptest! {
+prop_test! {
     /// Reference counting conserves registers under arbitrary interleaving
     /// of allocation, sharing, release, and writes; values survive while
     /// any reference remains.
-    #[test]
-    fn regfiles_conserve_under_random_ops(ops in rf_ops()) {
+    fn regfiles_conserve_under_random_ops(ops in |rng: &mut TestRng| rng.vec(1..200, rf_op)) {
         let mut rf = RegFiles::new(12, 12);
         // Live registers we hold references on: (reg, refcount, value).
         let mut live: Vec<(PhysReg, u32, Option<u64>)> = Vec::new();

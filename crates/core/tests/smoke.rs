@@ -22,7 +22,12 @@ fn compress_runs_under_all_six_configs() {
             stats.committed,
             stats.cycles
         );
-        assert!(stats.ipc() > 0.1, "{}: ipc {}", features.label(), stats.ipc());
+        assert!(
+            stats.ipc() > 0.1,
+            "{}: ipc {}",
+            features.label(),
+            stats.ipc()
+        );
     }
 }
 
@@ -58,5 +63,8 @@ fn multiprogram_runs() {
     let mut sim = Simulator::new(config, programs);
     let stats = sim.run(6_000, 400_000);
     assert!(stats.committed >= 6_000);
-    assert!(stats.committed_per_program.iter().all(|&c| c > 0), "both programs progress");
+    assert!(
+        stats.committed_per_program.iter().all(|&c| c > 0),
+        "both programs progress"
+    );
 }

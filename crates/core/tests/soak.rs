@@ -12,7 +12,12 @@ fn soak() {
             vec![kernels::build(b, 99)],
         );
         let s = sim.run(150_000, 4_000_000);
-        println!("{b}: {} committed in {} cycles (IPC {:.2})", s.committed, s.cycles, s.ipc());
+        println!(
+            "{b}: {} committed in {} cycles (IPC {:.2})",
+            s.committed,
+            s.cycles,
+            s.ipc()
+        );
         assert!(s.committed >= 150_000, "{b} starved");
     }
     let mut sim = Simulator::new(
@@ -20,6 +25,10 @@ fn soak() {
         mix::programs(&Benchmark::ALL, 3),
     );
     let s = sim.run(400_000, 4_000_000);
-    println!("8-program soak: {} committed (IPC {:.2})", s.committed, s.ipc());
+    println!(
+        "8-program soak: {} committed (IPC {:.2})",
+        s.committed,
+        s.ipc()
+    );
     assert!(s.committed >= 400_000);
 }

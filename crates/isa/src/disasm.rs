@@ -26,13 +26,23 @@ impl fmt::Display for Inst {
         let m = self.op.mnemonic();
         match self.op.operand_class() {
             OperandClass::Rrr | OperandClass::Fp | OperandClass::FpCmp => {
-                write!(f, "{m} {}, {}, {}", r(self.dest), r(self.src1), r(self.src2))
+                write!(
+                    f,
+                    "{m} {}, {}, {}",
+                    r(self.dest),
+                    r(self.src1),
+                    r(self.src2)
+                )
             }
             OperandClass::Rri => {
                 write!(f, "{m} {}, {}, #{}", r(self.dest), r(self.src1), self.imm)
             }
             OperandClass::Mem => {
-                let data = if self.op.is_store() { self.src2 } else { self.dest };
+                let data = if self.op.is_store() {
+                    self.src2
+                } else {
+                    self.dest
+                };
                 write!(f, "{m} {}, {}({})", r(data), self.imm, r(self.src1))
             }
             OperandClass::CondBr => {
@@ -108,7 +118,10 @@ mod tests {
             Inst::fp(Opcode::Addt, FpReg::F1, FpReg::F2, FpReg::F3).to_string(),
             "addt f1, f2, f3"
         );
-        assert_eq!(Inst::cvtqt(FpReg::F1, IntReg::R2).to_string(), "cvtqt f1, r2");
+        assert_eq!(
+            Inst::cvtqt(FpReg::F1, IntReg::R2).to_string(),
+            "cvtqt f1, r2"
+        );
         assert_eq!(Inst::nop().to_string(), "nop");
     }
 

@@ -75,14 +75,17 @@ impl Inst {
             }
             OperandClass::Mem => {
                 debug_assert!(i16::try_from(self.imm).is_ok());
-                let ra = if self.op.is_store() { self.src2 } else { self.dest };
+                let ra = if self.op.is_store() {
+                    self.src2
+                } else {
+                    self.dest
+                };
                 op | (reg_num(ra) << RA_SHIFT)
                     | (reg_num(self.src1) << RB_SHIFT)
                     | (self.imm as u32 & IMM_MASK)
             }
             OperandClass::CondBr => {
-                op | (reg_num(self.src1) << RA_SHIFT)
-                    | (self.imm as u32 & DISP21_MASK)
+                op | (reg_num(self.src1) << RA_SHIFT) | (self.imm as u32 & DISP21_MASK)
             }
             OperandClass::Br => op | (self.imm as u32 & DISP21_MASK),
             OperandClass::Jump => op | (reg_num(self.src1) << RA_SHIFT),
@@ -97,8 +100,7 @@ impl Inst {
                     | (reg_num(self.dest) << RC_SHIFT)
             }
             OperandClass::Cvt => {
-                op | (reg_num(self.src1) << RA_SHIFT)
-                    | (reg_num(self.dest) << RB_SHIFT)
+                op | (reg_num(self.src1) << RA_SHIFT) | (reg_num(self.dest) << RB_SHIFT)
             }
             OperandClass::None => op,
         }
@@ -159,7 +161,12 @@ mod tests {
     #[test]
     fn round_trip_representative_instructions() {
         round_trip(Inst::rrr(Opcode::Add, IntReg::R1, IntReg::R2, IntReg::R3));
-        round_trip(Inst::rrr(Opcode::Cmpult, IntReg::R30, IntReg::R29, IntReg::R28));
+        round_trip(Inst::rrr(
+            Opcode::Cmpult,
+            IntReg::R30,
+            IntReg::R29,
+            IntReg::R28,
+        ));
         round_trip(Inst::rri(Opcode::Addi, IntReg::R7, IntReg::R8, -123));
         round_trip(Inst::rri(Opcode::Lda, IntReg::R1, IntReg::ZERO, 0x7fff));
         round_trip(Inst::rri(Opcode::Ldih, IntReg::R1, IntReg::R1, -0x8000));
@@ -174,7 +181,12 @@ mod tests {
         round_trip(Inst::ret(IntReg::RA));
         round_trip(Inst::jump(IntReg::R27));
         round_trip(Inst::fp(Opcode::Mult, FpReg::F1, FpReg::F2, FpReg::F3));
-        round_trip(Inst::fp_cmp(Opcode::Cmptlt, IntReg::R1, FpReg::F2, FpReg::F3));
+        round_trip(Inst::fp_cmp(
+            Opcode::Cmptlt,
+            IntReg::R1,
+            FpReg::F2,
+            FpReg::F3,
+        ));
         round_trip(Inst::cvtqt(FpReg::F0, IntReg::R0));
         round_trip(Inst::cvttq(IntReg::R0, FpReg::F0));
         round_trip(Inst::nop());

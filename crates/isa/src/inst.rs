@@ -205,10 +205,7 @@ impl Opcode {
 
     /// Whether this instruction can redirect the PC (any control flow).
     pub fn is_control(self) -> bool {
-        matches!(
-            self.operand_class(),
-            OC::CondBr | OC::Br | OC::Jump
-        )
+        matches!(self.operand_class(), OC::CondBr | OC::Br | OC::Jump)
     }
 
     /// Whether this is a memory load.
@@ -238,8 +235,13 @@ impl Opcode {
             Opcode::Mul => FuClass::IntMul,
             Opcode::Muli => FuClass::IntMul,
             op if op.is_load() || op.is_store() => FuClass::LoadStore,
-            Opcode::Addt | Opcode::Subt | Opcode::Cmptlt | Opcode::Cmpteq
-            | Opcode::Cmptle | Opcode::Cvtqt | Opcode::Cvttq => FuClass::FpAdd,
+            Opcode::Addt
+            | Opcode::Subt
+            | Opcode::Cmptlt
+            | Opcode::Cmpteq
+            | Opcode::Cmptle
+            | Opcode::Cvtqt
+            | Opcode::Cvttq => FuClass::FpAdd,
             Opcode::Mult => FuClass::FpMul,
             Opcode::Divt => FuClass::FpDiv,
             _ => FuClass::IntAlu,
@@ -476,12 +478,24 @@ impl Inst {
 
     /// The canonical no-op.
     pub fn nop() -> Inst {
-        Inst { op: Opcode::Nop, dest: None, src1: None, src2: None, imm: 0 }
+        Inst {
+            op: Opcode::Nop,
+            dest: None,
+            src1: None,
+            src2: None,
+            imm: 0,
+        }
     }
 
     /// Stops the executing thread.
     pub fn halt() -> Inst {
-        Inst { op: Opcode::Halt, dest: None, src1: None, src2: None, imm: 0 }
+        Inst {
+            op: Opcode::Halt,
+            dest: None,
+            src1: None,
+            src2: None,
+            imm: 0,
+        }
     }
 
     /// The branch/call target given the address of this instruction.

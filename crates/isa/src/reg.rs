@@ -175,7 +175,10 @@ impl Reg {
     ///
     /// Panics if `index >= NUM_LOGICAL_REGS`.
     pub fn from_index(index: usize) -> Reg {
-        assert!(index < NUM_LOGICAL_REGS, "register index {index} out of range");
+        assert!(
+            index < NUM_LOGICAL_REGS,
+            "register index {index} out of range"
+        );
         if index < NUM_INT_REGS {
             Reg::Int(IntReg::new(index as u8))
         } else {

@@ -2,75 +2,64 @@
 //! instruction, and decode never panics on arbitrary words.
 
 use multipath_isa::{FpReg, Inst, IntReg, Opcode, OperandClass};
-use proptest::prelude::*;
+use multipath_testkit::{prop_assert, prop_assert_eq, prop_test, Shrink, TestRng};
 
-fn arb_int_reg() -> impl Strategy<Value = IntReg> {
-    (0u8..32).prop_map(IntReg::new)
+/// Newtype so the generated instruction can ride through the property
+/// runner (instructions have no meaningful halving shrink).
+#[derive(Debug, Clone)]
+struct ArbInst(Inst);
+
+impl Shrink for ArbInst {}
+
+/// Builds an arbitrary *valid* instruction.
+fn arb_inst(rng: &mut TestRng) -> ArbInst {
+    let op = *rng.pick(Opcode::ALL);
+    let ra = IntReg::new(rng.below(32) as u8);
+    let rb = IntReg::new(rng.below(32) as u8);
+    let rc = IntReg::new(rng.below(32) as u8);
+    let fa = FpReg::new(rng.below(32) as u8);
+    let fb = FpReg::new(rng.below(32) as u8);
+    let fc = FpReg::new(rng.below(32) as u8);
+    let imm16 = rng.next_u16() as i16;
+    let disp = rng.in_irange(-(1i64 << 20)..1i64 << 20) as i32;
+    ArbInst(match op.operand_class() {
+        OperandClass::Rrr => Inst::rrr(op, rc, ra, rb),
+        OperandClass::Rri => Inst::rri(op, rc, ra, imm16),
+        OperandClass::Mem => match op {
+            Opcode::Ldt => Inst::fload(fa, imm16, rb),
+            Opcode::Stt => Inst::fstore(fa, imm16, rb),
+            _ if op.is_load() => Inst::load(op, ra, imm16, rb),
+            _ => Inst::store(op, ra, imm16, rb),
+        },
+        OperandClass::CondBr => Inst::cond_branch(op, ra, disp),
+        OperandClass::Br => match op {
+            Opcode::Jsr => Inst::call(disp),
+            _ => Inst::branch(disp),
+        },
+        OperandClass::Jump => match op {
+            Opcode::Ret => Inst::ret(ra),
+            _ => Inst::jump(ra),
+        },
+        OperandClass::Fp => Inst::fp(op, fc, fa, fb),
+        OperandClass::FpCmp => Inst::fp_cmp(op, rc, fa, fb),
+        OperandClass::Cvt => match op {
+            Opcode::Cvtqt => Inst::cvtqt(fa, ra),
+            _ => Inst::cvttq(ra, fa),
+        },
+        OperandClass::None => match op {
+            Opcode::Halt => Inst::halt(),
+            _ => Inst::nop(),
+        },
+    })
 }
 
-fn arb_fp_reg() -> impl Strategy<Value = FpReg> {
-    (0u8..32).prop_map(FpReg::new)
-}
-
-fn arb_opcode() -> impl Strategy<Value = Opcode> {
-    prop::sample::select(Opcode::ALL.to_vec())
-}
-
-/// Builds an arbitrary *valid* instruction for a given opcode.
-fn arb_inst() -> impl Strategy<Value = Inst> {
-    (
-        arb_opcode(),
-        arb_int_reg(),
-        arb_int_reg(),
-        arb_int_reg(),
-        arb_fp_reg(),
-        arb_fp_reg(),
-        arb_fp_reg(),
-        any::<i16>(),
-        -(1i32 << 20)..(1i32 << 20),
-    )
-        .prop_map(|(op, ra, rb, rc, fa, fb, fc, imm16, disp)| {
-            match op.operand_class() {
-                OperandClass::Rrr => Inst::rrr(op, rc, ra, rb),
-                OperandClass::Rri => Inst::rri(op, rc, ra, imm16),
-                OperandClass::Mem => match op {
-                    Opcode::Ldt => Inst::fload(fa, imm16, rb),
-                    Opcode::Stt => Inst::fstore(fa, imm16, rb),
-                    _ if op.is_load() => Inst::load(op, ra, imm16, rb),
-                    _ => Inst::store(op, ra, imm16, rb),
-                },
-                OperandClass::CondBr => Inst::cond_branch(op, ra, disp),
-                OperandClass::Br => match op {
-                    Opcode::Jsr => Inst::call(disp),
-                    _ => Inst::branch(disp),
-                },
-                OperandClass::Jump => match op {
-                    Opcode::Ret => Inst::ret(ra),
-                    _ => Inst::jump(ra),
-                },
-                OperandClass::Fp => Inst::fp(op, fc, fa, fb),
-                OperandClass::FpCmp => Inst::fp_cmp(op, rc, fa, fb),
-                OperandClass::Cvt => match op {
-                    Opcode::Cvtqt => Inst::cvtqt(fa, ra),
-                    _ => Inst::cvttq(ra, fa),
-                },
-                OperandClass::None => match op {
-                    Opcode::Halt => Inst::halt(),
-                    _ => Inst::nop(),
-                },
-            }
-        })
-}
-
-proptest! {
-    #[test]
-    fn encode_decode_round_trips(inst in arb_inst()) {
-        let word = inst.encode();
-        prop_assert_eq!(Inst::decode(word), Some(inst));
+prop_test! {
+    fn encode_decode_round_trips(inst in arb_inst) {
+        let word = inst.0.encode();
+        prop_assert_eq!(Inst::decode(word), Some(inst.0));
     }
 
-    #[test]
-    fn decode_never_panics(word in any::<u32>()) {
+    fn decode_never_panics(word in |rng: &mut TestRng| rng.next_u32()) {
         // Either a valid instruction or None; both re-encode stably.
         if let Some(inst) = Inst::decode(word) {
             let reencoded = inst.encode();
@@ -78,10 +67,9 @@ proptest! {
         }
     }
 
-    #[test]
-    fn display_never_panics(inst in arb_inst()) {
-        let s = inst.to_string();
+    fn display_never_panics(inst in arb_inst) {
+        let s = inst.0.to_string();
         prop_assert!(!s.is_empty());
-        prop_assert!(s.starts_with(inst.op.mnemonic()));
+        prop_assert!(s.starts_with(inst.0.op.mnemonic()));
     }
 }

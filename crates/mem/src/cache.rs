@@ -31,7 +31,11 @@ struct Line {
     lru: u64,
 }
 
-const INVALID: Line = Line { tag: 0, valid: false, lru: 0 };
+const INVALID: Line = Line {
+    tag: 0,
+    valid: false,
+    lru: 0,
+};
 
 /// A set-associative, LRU, banked cache model (tags only — data lives in
 /// [`crate::Memory`]).
@@ -86,8 +90,14 @@ impl Cache {
     /// Panics if sizes are not powers of two or the geometry is
     /// inconsistent.
     pub fn new(config: CacheConfig) -> Cache {
-        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
-        assert!(config.banks.is_power_of_two(), "bank count must be a power of two");
+        assert!(
+            config.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(
+            config.banks.is_power_of_two(),
+            "bank count must be a power of two"
+        );
         assert!(config.ways > 0, "associativity must be positive");
         let num_sets = config.num_sets();
         assert!(
@@ -140,7 +150,11 @@ impl Cache {
             match policy {
                 BankPolicy::Reject => {
                     // Bounced: no tag access, no reservation.
-                    return Probe { hit: false, bank_delay: free_at - now, accepted: false };
+                    return Probe {
+                        hit: false,
+                        bank_delay: free_at - now,
+                        accepted: false,
+                    };
                 }
                 BankPolicy::Queue => {
                     let bank_delay = free_at - now;
@@ -161,7 +175,11 @@ impl Cache {
         } else {
             self.misses += 1;
         }
-        Probe { hit, bank_delay, accepted: true }
+        Probe {
+            hit,
+            bank_delay,
+            accepted: true,
+        }
     }
 
     /// Tag probe + LRU update + fill-on-miss, with no timing side effects.
@@ -184,7 +202,11 @@ impl Cache {
             .min_by_key(|(_, l)| if l.valid { l.lru } else { 0 })
             .map(|(i, _)| i)
             .expect("ways > 0");
-        set_lines[victim] = Line { tag, valid: true, lru: clock };
+        set_lines[victim] = Line {
+            tag,
+            valid: true,
+            lru: clock,
+        };
         false
     }
 
@@ -230,7 +252,12 @@ mod tests {
 
     fn small() -> Cache {
         // 1KB, 64B lines, 2-way, 2 banks → 8 sets.
-        Cache::new(CacheConfig { size_bytes: 1024, line_bytes: 64, ways: 2, banks: 2 })
+        Cache::new(CacheConfig {
+            size_bytes: 1024,
+            line_bytes: 64,
+            ways: 2,
+            banks: 2,
+        })
     }
 
     #[test]
@@ -255,7 +282,10 @@ mod tests {
     fn asid_disambiguates() {
         let mut c = small();
         assert!(!c.access_q(Asid(0), 0x1000, 0).hit);
-        assert!(!c.access_q(Asid(1), 0x1000, 10).hit, "other program's line must not hit");
+        assert!(
+            !c.access_q(Asid(1), 0x1000, 10).hit,
+            "other program's line must not hit"
+        );
         assert!(c.access_q(Asid(0), 0x1000, 20).hit);
     }
 
@@ -314,6 +344,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_line_size_rejected() {
-        Cache::new(CacheConfig { size_bytes: 1024, line_bytes: 48, ways: 2, banks: 1 });
+        Cache::new(CacheConfig {
+            size_bytes: 1024,
+            line_bytes: 48,
+            ways: 2,
+            banks: 1,
+        });
     }
 }

@@ -31,10 +31,30 @@ impl HierarchyConfig {
     /// The paper's baseline hierarchy (the "big" machine).
     pub fn baseline() -> HierarchyConfig {
         HierarchyConfig {
-            l1i: CacheConfig { size_bytes: 64 << 10, line_bytes: 64, ways: 1, banks: 8 },
-            l1d: CacheConfig { size_bytes: 64 << 10, line_bytes: 64, ways: 1, banks: 8 },
-            l2: CacheConfig { size_bytes: 256 << 10, line_bytes: 64, ways: 4, banks: 8 },
-            l3: CacheConfig { size_bytes: 4 << 20, line_bytes: 64, ways: 1, banks: 1 },
+            l1i: CacheConfig {
+                size_bytes: 64 << 10,
+                line_bytes: 64,
+                ways: 1,
+                banks: 8,
+            },
+            l1d: CacheConfig {
+                size_bytes: 64 << 10,
+                line_bytes: 64,
+                ways: 1,
+                banks: 8,
+            },
+            l2: CacheConfig {
+                size_bytes: 256 << 10,
+                line_bytes: 64,
+                ways: 4,
+                banks: 8,
+            },
+            l3: CacheConfig {
+                size_bytes: 4 << 20,
+                line_bytes: 64,
+                ways: 1,
+                banks: 1,
+            },
             l2_penalty: 6,
             l3_penalty: 12,
             memory_penalty: 62,
@@ -199,7 +219,12 @@ impl MemoryHierarchy {
                 }
             }
         };
-        AccessResult { issued_at: now, ready_at: now + latency, level, bounced: false }
+        AccessResult {
+            issued_at: now,
+            ready_at: now + latency,
+            level,
+            bounced: false,
+        }
     }
 
     /// Statistics since construction.

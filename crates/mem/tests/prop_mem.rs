@@ -1,14 +1,15 @@
 //! Property tests for the memory substrate.
 
-use multipath_mem::{cache::BankPolicy, Asid, Cache, CacheConfig, HierarchyConfig, Memory, MemoryHierarchy};
-use proptest::prelude::*;
+use multipath_mem::{
+    cache::BankPolicy, Asid, Cache, CacheConfig, HierarchyConfig, Memory, MemoryHierarchy,
+};
+use multipath_testkit::{prop_assert, prop_assert_eq, prop_test, TestRng};
 use std::collections::HashMap;
 
-proptest! {
+prop_test! {
     /// Functional memory behaves like a flat map of bytes.
-    #[test]
     fn memory_matches_reference_model(
-        ops in prop::collection::vec((0u64..0x10_0000, any::<u64>(), any::<bool>()), 1..200)
+        ops in |rng: &mut TestRng| rng.vec(1..200, |r| (r.below(0x10_0000), r.next_u64(), r.next_bool()))
     ) {
         let mut mem = Memory::new();
         let mut model: HashMap<u64, u8> = HashMap::new();
@@ -30,8 +31,7 @@ proptest! {
 
     /// A cache never reports a hit for a line that was never accessed, and
     /// repeated accesses to a resident line always hit.
-    #[test]
-    fn cache_hit_soundness(addrs in prop::collection::vec(0u64..0x4000, 1..100)) {
+    fn cache_hit_soundness(addrs in |rng: &mut TestRng| rng.vec(1..100, |r| r.below(0x4000))) {
         let mut cache = Cache::new(CacheConfig {
             size_bytes: 2048, line_bytes: 64, ways: 2, banks: 2,
         });
@@ -50,8 +50,9 @@ proptest! {
 
     /// Hierarchy latency is always one of the composable penalty sums plus
     /// bounded bank delay, and ready_at never precedes issue.
-    #[test]
-    fn hierarchy_latency_is_bounded(addrs in prop::collection::vec(0u64..0x100_0000, 1..100)) {
+    fn hierarchy_latency_is_bounded(
+        addrs in |rng: &mut TestRng| rng.vec(1..100, |r| r.below(0x100_0000))
+    ) {
         let mut h = MemoryHierarchy::new(HierarchyConfig::baseline());
         let mut now = 0;
         for &a in &addrs {
@@ -64,8 +65,7 @@ proptest! {
     }
 
     /// Sequential same-line accesses after a fill always hit L1.
-    #[test]
-    fn spatial_locality_hits(base in 0u64..0x1000) {
+    fn spatial_locality_hits(base in |rng: &mut TestRng| rng.below(0x1000)) {
         let base = base & !63; // line-align
         let mut h = MemoryHierarchy::new(HierarchyConfig::baseline());
         let first = h.data_access(Asid(0), base, false, 0);
@@ -76,13 +76,10 @@ proptest! {
             now = r.ready_at + 2; // avoid bank back-pressure
         }
     }
-}
 
-proptest! {
     /// LRU guarantee (checked against a reference model): a line re-accessed
     /// before `ways` other distinct lines touch its set always hits.
-    #[test]
-    fn lru_recency_guarantee(addrs in prop::collection::vec(0u64..0x8000, 2..300)) {
+    fn lru_recency_guarantee(addrs in |rng: &mut TestRng| rng.vec(2..300, |r| r.below(0x8000))) {
         use std::collections::VecDeque;
         let ways = 2usize;
         let mut cache = Cache::new(CacheConfig {

@@ -1,0 +1,107 @@
+//! A tiny wall-clock bench runner: the workspace's replacement for
+//! Criterion.
+//!
+//! No statistics machinery — each benchmark is warmed once, then timed
+//! for a fixed number of samples, and min/median/mean are printed. That
+//! is enough to spot simulator-throughput regressions, which is all the
+//! `figures` bench target exists for. Sample count comes from
+//! `MULTIPATH_BENCH_SAMPLES` (default 10).
+
+use std::time::{Duration, Instant};
+
+/// Collects and prints wall-clock timings for named closures.
+pub struct BenchRunner {
+    samples: usize,
+    results: Vec<(String, Vec<Duration>)>,
+}
+
+impl Default for BenchRunner {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl BenchRunner {
+    /// A runner taking `MULTIPATH_BENCH_SAMPLES` samples per benchmark.
+    pub fn from_env() -> BenchRunner {
+        let samples = std::env::var("MULTIPATH_BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(10);
+        BenchRunner {
+            samples,
+            results: Vec::new(),
+        }
+    }
+
+    /// Times `f` (one warm-up iteration, then `samples` timed ones) and
+    /// prints the result line immediately.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        std::hint::black_box(f());
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            times.push(start.elapsed());
+        }
+        times.sort();
+        println!("{:32} {}", name, summary(&times));
+        self.results.push((name.to_owned(), times));
+    }
+
+    /// Timings recorded so far, in registration order.
+    pub fn results(&self) -> &[(String, Vec<Duration>)] {
+        &self.results
+    }
+}
+
+fn summary(sorted: &[Duration]) -> String {
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    format!(
+        "min {:>9} median {:>9} mean {:>9} ({} samples)",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(mean),
+        sorted.len()
+    )
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3}s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.2}ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.2}us", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_records_requested_samples() {
+        std::env::remove_var("MULTIPATH_BENCH_SAMPLES");
+        let mut r = BenchRunner::from_env();
+        let mut calls = 0u32;
+        r.bench("noop", || calls += 1);
+        assert_eq!(r.results().len(), 1);
+        assert_eq!(r.results()[0].1.len(), 10);
+        assert_eq!(calls, 11, "one warm-up plus ten samples");
+    }
+
+    #[test]
+    fn durations_format_with_sensible_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(5)), "5ns");
+        assert_eq!(fmt_duration(Duration::from_micros(42)), "42.00us");
+        assert_eq!(fmt_duration(Duration::from_millis(7)), "7.00ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000s");
+    }
+}

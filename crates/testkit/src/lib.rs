@@ -1,0 +1,32 @@
+//! `multipath-testkit` — zero-dependency test support for the workspace.
+//!
+//! The simulator's experiments must be reproducible bit-for-bit on any
+//! machine with nothing but a Rust toolchain, so the workspace carries no
+//! external crates at all. This crate supplies the three things the test
+//! suite used to pull from crates.io:
+//!
+//! - [`TestRng`]: a deterministic xoshiro256**/SplitMix64 generator
+//!   (replacing `rand`),
+//! - [`prop_test!`]: a property-test macro running N random cases with
+//!   shrink-by-halving on failure (replacing `proptest`),
+//! - [`BenchRunner`]: a wall-clock micro-bench runner (replacing
+//!   `criterion`).
+//!
+//! # Examples
+//!
+//! ```
+//! use multipath_testkit::TestRng;
+//!
+//! let mut a = TestRng::new(42);
+//! let mut b = TestRng::new(42);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! ```
+
+pub mod bench;
+pub mod prop;
+pub mod rng;
+pub mod shrink;
+
+pub use bench::BenchRunner;
+pub use rng::{mix64, SplitMix64, TestRng};
+pub use shrink::Shrink;

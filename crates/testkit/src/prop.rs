@@ -1,0 +1,175 @@
+//! The property-test runner behind [`prop_test!`](crate::prop_test).
+//!
+//! Each case derives its own [`TestRng`] from a per-test base seed mixed
+//! with the case index, so failures reproduce exactly: rerun with
+//! `MULTIPATH_PROP_SEED=<seed>` (printed on failure) to replay a single
+//! failing case. `MULTIPATH_PROP_CASES` overrides the case count globally.
+
+use crate::rng::{mix64, TestRng};
+use crate::shrink::Shrink;
+
+/// Evaluation budget for the shrink loop: how many candidate inputs may
+/// be retried while minimising a failure.
+const MAX_SHRINK_EVALS: usize = 1024;
+
+/// Default number of cases per property, overridable with
+/// `MULTIPATH_PROP_CASES`.
+pub fn default_cases() -> u64 {
+    std::env::var("MULTIPATH_PROP_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64)
+}
+
+fn base_seed(name: &str) -> u64 {
+    if let Some(s) = std::env::var("MULTIPATH_PROP_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+    {
+        return s;
+    }
+    // FNV-1a over the test name: every property gets its own stream.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `prop` against `cases` inputs drawn from `gen`; on failure,
+/// shrinks by halving and panics with the minimised input and the seed
+/// that reproduces it.
+pub fn check<T, G, P>(name: &str, cases: u64, gen: G, prop: P)
+where
+    T: Clone + std::fmt::Debug + Shrink,
+    G: Fn(&mut TestRng) -> T,
+    P: Fn(T) -> Result<(), String>,
+{
+    let base = base_seed(name);
+    for case in 0..cases {
+        let seed = mix64(base ^ mix64(case));
+        let input = gen(&mut TestRng::new(seed));
+        if let Err(msg) = prop(input.clone()) {
+            let (min_input, min_msg, steps) = minimise(input, msg, &prop);
+            panic!(
+                "property `{name}` failed (case {case}/{cases}, case seed {seed}, \
+                 {steps} shrink steps; MULTIPATH_PROP_SEED={base} reproduces this run)\n\
+                 minimal input: {min_input:?}\n{min_msg}"
+            );
+        }
+    }
+}
+
+/// Greedy shrink: repeatedly replace the failing input with its first
+/// still-failing candidate until no candidate fails or the budget runs
+/// out. Returns the minimised input, its failure message, and how many
+/// successful reductions were applied.
+fn minimise<T, P>(mut input: T, mut msg: String, prop: &P) -> (T, String, usize)
+where
+    T: Clone + std::fmt::Debug + Shrink,
+    P: Fn(T) -> Result<(), String>,
+{
+    let mut evals = 0usize;
+    let mut steps = 0usize;
+    'outer: loop {
+        for candidate in input.shrink() {
+            if evals >= MAX_SHRINK_EVALS {
+                break 'outer;
+            }
+            evals += 1;
+            if let Err(m) = prop(candidate.clone()) {
+                input = candidate;
+                msg = m;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (input, msg, steps)
+}
+
+/// Declares property tests: `N` random cases each, shrink-by-halving on
+/// failure. The drop-in replacement for the `proptest!` macro this
+/// workspace used to pull from crates.io.
+///
+/// ```
+/// multipath_testkit::prop_test! {
+///     /// Addition commutes.
+///     fn add_commutes(pair in |rng: &mut multipath_testkit::TestRng|
+///         (rng.next_u32(), rng.next_u32()))
+///     {
+///         let (a, b) = pair;
+///         multipath_testkit::prop_assert_eq!(
+///             a as u64 + b as u64, b as u64 + a as u64);
+///     }
+/// }
+/// ```
+///
+/// An optional `cases = N` after the generator overrides the default
+/// case count for that property.
+#[macro_export]
+macro_rules! prop_test {
+    () => {};
+    (
+        $(#[$meta:meta])*
+        fn $name:ident($arg:ident in $gen:expr $(, cases = $cases:expr)? $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            #[allow(unused_mut, unused_assignments)]
+            let mut cases: u64 = $crate::prop::default_cases();
+            $(cases = $cases;)?
+            $crate::prop::check(
+                stringify!($name),
+                cases,
+                $gen,
+                |$arg| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::<(), ::std::string::String>::Ok(())
+                },
+            );
+        }
+        $crate::prop_test! { $($rest)* }
+    };
+}
+
+/// `assert!` for property bodies: fails the case (triggering shrinking)
+/// instead of panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// `assert_eq!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return ::std::result::Result::Err(::std::format!(
+                "{}\n  left: {:?}\n right: {:?}", ::std::format!($($fmt)+), l, r));
+        }
+    }};
+}

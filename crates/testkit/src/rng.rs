@@ -1,0 +1,173 @@
+//! Deterministic random number generation for tests and workloads.
+//!
+//! [`TestRng`] is xoshiro256** seeded through a SplitMix64 expansion of a
+//! single `u64`, the construction Blackman & Vigna recommend. It is the
+//! workspace's replacement for the `rand` crate: the whole test suite must
+//! produce bit-identical case streams on every platform and toolchain, so
+//! the generator is pinned here rather than inherited from a dependency.
+
+/// SplitMix64 (Steele et al.): a tiny 64-bit mixer used to expand seeds.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        mix64(self.state)
+    }
+}
+
+/// The SplitMix64 output mixer as a pure function: hashes `x` to a
+/// well-distributed 64-bit value. Used for deriving per-case seeds.
+pub fn mix64(x: u64) -> u64 {
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic xoshiro256** generator with convenience samplers.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Creates a generator whose state is the SplitMix64 expansion of
+    /// `seed` (so nearby seeds give uncorrelated streams).
+    pub fn new(seed: u64) -> TestRng {
+        let mut sm = SplitMix64::new(seed);
+        TestRng {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Next 16 random bits.
+    pub fn next_u16(&mut self) -> u16 {
+        (self.next_u64() >> 48) as u16
+    }
+
+    /// A uniformly random `bool`.
+    pub fn next_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// A double uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// `true` with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// A value uniform in `0..bound` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is empty");
+        // Multiply-shift bounded sampling (Lemire); bias is < 2^-64 per
+        // draw, far below what any test here could observe.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// A value uniform in the half-open range `lo..hi`.
+    pub fn in_range(&mut self, range: std::ops::Range<u64>) -> u64 {
+        assert!(range.start < range.end, "empty range");
+        range.start + self.below(range.end - range.start)
+    }
+
+    /// A signed value uniform in the half-open range `lo..hi`.
+    pub fn in_irange(&mut self, range: std::ops::Range<i64>) -> i64 {
+        assert!(range.start < range.end, "empty range");
+        range
+            .start
+            .wrapping_add(self.below(range.end.wrapping_sub(range.start) as u64) as i64)
+    }
+
+    /// A length uniform in the half-open range `lo..hi`.
+    pub fn len_in(&mut self, range: std::ops::Range<usize>) -> usize {
+        self.in_range(range.start as u64..range.end as u64) as usize
+    }
+
+    /// A vector whose length is drawn from `len` and whose elements come
+    /// from `element`.
+    pub fn vec<T>(
+        &mut self,
+        len: std::ops::Range<usize>,
+        mut element: impl FnMut(&mut TestRng) -> T,
+    ) -> Vec<T> {
+        let n = self.len_in(len);
+        (0..n).map(|_| element(self)).collect()
+    }
+
+    /// A uniformly random element of `items` (must be non-empty).
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = TestRng::new(7);
+        for bound in [1u64, 2, 3, 10, 255, 1 << 40] {
+            for _ in 0..200 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn in_range_covers_endpoints() {
+        let mut rng = TestRng::new(8);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2_000 {
+            match rng.in_range(5..8) {
+                5 => seen_lo = true,
+                7 => seen_hi = true,
+                6 => {}
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn irange_handles_negatives() {
+        let mut rng = TestRng::new(9);
+        for _ in 0..1_000 {
+            let v = rng.in_irange(-20..-3);
+            assert!((-20..-3).contains(&v), "{v}");
+        }
+    }
+}

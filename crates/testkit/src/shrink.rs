@@ -1,0 +1,147 @@
+//! Shrinking: reducing a failing input to a smaller failing input.
+//!
+//! The strategy is *halving*: numbers shrink toward zero by repeated
+//! halving, vectors offer their two halves (and their last-element-dropped
+//! form, which lets lengths reach every value, not just powers of two),
+//! and tuples shrink one component at a time. A candidate only replaces
+//! the current input if the property still fails on it, so shrinkers may
+//! propose values outside the generator's domain without harm.
+
+/// Types that can propose smaller versions of themselves.
+///
+/// The default implementation proposes nothing, which is always sound —
+/// opaque enums in test files can opt in with `impl Shrink for Foo {}`.
+pub trait Shrink: Sized {
+    /// Candidate reductions, most aggressive first.
+    fn shrink(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+macro_rules! impl_shrink_unsigned {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<Self> {
+                if *self == 0 {
+                    Vec::new()
+                } else {
+                    vec![0, *self / 2]
+                }
+            }
+        }
+    )*};
+}
+impl_shrink_unsigned!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! impl_shrink_signed {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<Self> {
+                if *self == 0 {
+                    Vec::new()
+                } else {
+                    vec![0, *self / 2]
+                }
+            }
+        }
+    )*};
+}
+impl_shrink_signed!(i8, i16, i32, i64, i128, isize);
+
+impl Shrink for bool {
+    fn shrink(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Shrink for f64 {
+    fn shrink(&self) -> Vec<Self> {
+        if *self == 0.0 {
+            Vec::new()
+        } else {
+            vec![0.0, *self / 2.0]
+        }
+    }
+}
+
+impl<T: Shrink + Clone> Shrink for Vec<T> {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        let n = self.len();
+        if n == 0 {
+            return out;
+        }
+        // Halves first (big reductions), then drop-last (fills in lengths
+        // halving skips), then element-wise shrinks (keeps length).
+        if n > 1 {
+            out.push(self[..n / 2].to_vec());
+            out.push(self[n / 2..].to_vec());
+        }
+        out.push(self[..n - 1].to_vec());
+        for (i, item) in self.iter().enumerate() {
+            for smaller in item.shrink() {
+                let mut v = self.clone();
+                v[i] = smaller;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! impl_shrink_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Shrink + Clone),+> Shrink for ($($name,)+) {
+            fn shrink(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                $(
+                    for smaller in self.$idx.shrink() {
+                        let mut t = self.clone();
+                        t.$idx = smaller;
+                        out.push(t);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+impl_shrink_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_halve_toward_zero() {
+        assert_eq!(100u64.shrink(), vec![0, 50]);
+        assert_eq!((-8i32).shrink(), vec![0, -4]);
+        assert!(0u8.shrink().is_empty());
+    }
+
+    #[test]
+    fn vectors_offer_halves_and_drop_last() {
+        let v = vec![1u8, 2, 3, 4];
+        let candidates = v.shrink();
+        assert!(candidates.contains(&vec![1, 2]));
+        assert!(candidates.contains(&vec![3, 4]));
+        assert!(candidates.contains(&vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn tuples_shrink_componentwise() {
+        let candidates = (4u8, true).shrink();
+        assert!(candidates.contains(&(0, true)));
+        assert!(candidates.contains(&(2, true)));
+        assert!(candidates.contains(&(4, false)));
+    }
+}

@@ -46,8 +46,14 @@ impl fmt::Display for AsmError {
         match self {
             AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
             AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
-            AsmError::DisplacementOverflow { label, displacement } => {
-                write!(f, "branch to `{label}` displacement {displacement} exceeds 21 bits")
+            AsmError::DisplacementOverflow {
+                label,
+                displacement,
+            } => {
+                write!(
+                    f,
+                    "branch to `{label}` displacement {displacement} exceeds 21 bits"
+                )
             }
         }
     }
@@ -138,9 +144,7 @@ impl Assembler {
             .map(|(at, item)| {
                 let inst = match item {
                     Item::Ready(i) => *i,
-                    Item::CondBr(op, ra, label) => {
-                        Inst::cond_branch(*op, *ra, resolve(label, at)?)
-                    }
+                    Item::CondBr(op, ra, label) => Inst::cond_branch(*op, *ra, resolve(label, at)?),
                     Item::Br(label) => Inst::branch(resolve(label, at)?),
                     Item::Jsr(label) => Inst::call(resolve(label, at)?),
                 };
@@ -155,7 +159,10 @@ impl Assembler {
     ///
     /// Panics if the label is undefined.
     pub fn address_of(&self, label: &str, base: u64) -> u64 {
-        let idx = *self.labels.get(label).unwrap_or_else(|| panic!("undefined label `{label}`"));
+        let idx = *self
+            .labels
+            .get(label)
+            .unwrap_or_else(|| panic!("undefined label `{label}`"));
         base + idx as u64 * INST_BYTES
     }
 }
@@ -404,7 +411,14 @@ mod tests {
     fn li_wide_constant_reconstructs_value() {
         // Verify the ldih/lda pair reconstructs tricky values by symbolic
         // evaluation: value = (hi << 16) + sign_extend(lo).
-        for &v in &[0x10_0000i32, 0x7fff_7fff, -0x10_0000, 0x1_8000, 0xffff, -0x8000] {
+        for &v in &[
+            0x10_0000i32,
+            0x7fff_7fff,
+            -0x10_0000,
+            0x1_8000,
+            0xffff,
+            -0x8000,
+        ] {
             let mut a = Assembler::new();
             a.li(R1, v);
             let text = a.assemble(0).unwrap();
@@ -468,8 +482,10 @@ mod error_display_tests {
             AsmError::DuplicateLabel("y".into()).to_string(),
             "duplicate label `y`"
         );
-        let overflow =
-            AsmError::DisplacementOverflow { label: "far".into(), displacement: 1 << 21 };
+        let overflow = AsmError::DisplacementOverflow {
+            label: "far".into(),
+            displacement: 1 << 21,
+        };
         assert!(overflow.to_string().contains("far"));
         assert!(overflow.to_string().contains("21 bits"));
     }

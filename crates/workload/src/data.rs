@@ -75,7 +75,11 @@ pub struct DataBuilder {
 impl DataBuilder {
     /// Starts a segment at `base`.
     pub fn new(base: u64) -> DataBuilder {
-        DataBuilder { base, bytes: Vec::new(), names: HashMap::new() }
+        DataBuilder {
+            base,
+            bytes: Vec::new(),
+            names: HashMap::new(),
+        }
     }
 
     fn align(&mut self, alignment: usize) {
@@ -134,12 +138,18 @@ impl DataBuilder {
     ///
     /// Panics if `name` was never laid out.
     pub fn address_of(&self, name: &str) -> u64 {
-        *self.names.get(name).unwrap_or_else(|| panic!("unknown data name `{name}`"))
+        *self
+            .names
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown data name `{name}`"))
     }
 
     /// Finishes the segment.
     pub fn build(self) -> DataSegment {
-        DataSegment { base: self.base, bytes: self.bytes }
+        DataSegment {
+            base: self.base,
+            bytes: self.bytes,
+        }
     }
 }
 

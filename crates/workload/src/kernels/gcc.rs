@@ -63,7 +63,7 @@ pub(crate) fn build(seed: u64) -> Program {
     a.andi(R4, R2, (TOKENS - 1) as i16);
     a.add(R5, R16, R4);
     a.ldbu(R6, 0, R5); // token kind
-    // Compare cascade, frequent kinds first.
+                       // Compare cascade, frequent kinds first.
     a.bne(R6, "not0");
     // kind 0: identifier — hash it into the accumulator.
     a.muli(R8, R9, 33);

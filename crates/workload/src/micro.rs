@@ -59,7 +59,10 @@ impl Default for MicroParams {
 /// Panics if the parameters are degenerate (zero body, zero chains, or
 /// more hard sites than the body can hold).
 pub fn build(params: &MicroParams, seed: u64) -> Program {
-    assert!(params.loop_body >= 8, "loop body must hold the loop plumbing");
+    assert!(
+        params.loop_body >= 8,
+        "loop body must hold the loop plumbing"
+    );
     assert!(params.ilp >= 1 && params.ilp <= 6, "1..=6 chains supported");
     // A site emits 10 instructions and the emission loop admits one while
     // `emitted + 8 < loop_body`, so the last site starts no later than
@@ -126,7 +129,9 @@ pub fn build(params: &MicroParams, seed: u64) -> Program {
             params.loop_body, params.hard_sites, params.taken_percent, params.ilp
         ),
         text_base: crate::TEXT_BASE,
-        text: a.assemble(crate::TEXT_BASE).expect("microbenchmark assembles"),
+        text: a
+            .assemble(crate::TEXT_BASE)
+            .expect("microbenchmark assembles"),
         data: vec![data.build()],
         entry: crate::TEXT_BASE,
         initial_sp: crate::STACK_TOP,
@@ -139,8 +144,20 @@ mod tests {
 
     #[test]
     fn default_builds_and_sizes_track_request() {
-        let small = build(&MicroParams { loop_body: 16, ..MicroParams::default() }, 1);
-        let large = build(&MicroParams { loop_body: 128, ..MicroParams::default() }, 1);
+        let small = build(
+            &MicroParams {
+                loop_body: 16,
+                ..MicroParams::default()
+            },
+            1,
+        );
+        let large = build(
+            &MicroParams {
+                loop_body: 128,
+                ..MicroParams::default()
+            },
+            1,
+        );
         assert!(large.text.len() > small.text.len() * 3);
     }
 
@@ -154,14 +171,25 @@ mod tests {
     #[test]
     #[should_panic(expected = "ten instructions")]
     fn too_many_sites_rejected() {
-        build(&MicroParams { loop_body: 16, hard_sites: 2, ..MicroParams::default() }, 1);
+        build(
+            &MicroParams {
+                loop_body: 16,
+                hard_sites: 2,
+                ..MicroParams::default()
+            },
+            1,
+        );
     }
 
     #[test]
     fn every_requested_site_is_emitted() {
         for sites in 1..=4usize {
             let p = build(
-                &MicroParams { loop_body: sites * 10, hard_sites: sites, ..MicroParams::default() },
+                &MicroParams {
+                    loop_body: sites * 10,
+                    hard_sites: sites,
+                    ..MicroParams::default()
+                },
                 3,
             );
             let branches = p
@@ -172,14 +200,22 @@ mod tests {
                         .is_some_and(|i| i.op == multipath_isa::Opcode::Bne)
                 })
                 .count();
-            assert_eq!(branches, sites, "one conditional hammock per requested site");
+            assert_eq!(
+                branches, sites,
+                "one conditional hammock per requested site"
+            );
         }
     }
 
     #[test]
     fn all_words_decode() {
         let p = build(
-            &MicroParams { loop_body: 96, hard_sites: 4, ilp: 4, ..MicroParams::default() },
+            &MicroParams {
+                loop_body: 96,
+                hard_sites: 4,
+                ilp: 4,
+                ..MicroParams::default()
+            },
             2,
         );
         for &w in &p.text {

@@ -64,7 +64,10 @@ mod tests {
             name: "tiny".to_owned(),
             text_base: 0x1_0000,
             text: vec![Inst::nop().encode(), Inst::halt().encode()],
-            data: vec![DataSegment { base: 0x10_0000, bytes: vec![1, 2, 3] }],
+            data: vec![DataSegment {
+                base: 0x10_0000,
+                bytes: vec![1, 2, 3],
+            }],
             entry: 0x1_0000,
             initial_sp: 0x7f_0000,
         }

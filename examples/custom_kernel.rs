@@ -74,14 +74,19 @@ fn main() {
         emu.step();
     }
     let expected = emu.memory().read_u64(0x10_0000 + 128 * 8 + 127 * 8);
-    println!("reference: {} instructions, checksum {expected:#x}", emu.retired());
+    println!(
+        "reference: {} instructions, checksum {expected:#x}",
+        emu.retired()
+    );
 
     // Then: the full multipath pipeline, which must agree.
     let config = SimConfig::big_2_16().with_features(Features::rec_rs_ru());
     let mut sim = Simulator::new(config, vec![program]);
     let stats = sim.run(u64::MAX, 2_000_000).clone();
     assert!(sim.program_finished(ProgId(0)), "did not reach halt");
-    let got = sim.program_memory(ProgId(0)).read_u64(0x10_0000 + 128 * 8 + 127 * 8);
+    let got = sim
+        .program_memory(ProgId(0))
+        .read_u64(0x10_0000 + 128 * 8 + 127 * 8);
     println!(
         "pipeline:  {} instructions in {} cycles (IPC {:.2}), checksum {got:#x}",
         stats.committed,

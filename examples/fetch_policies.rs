@@ -16,7 +16,10 @@ use multipath_workload::{kernels, Benchmark};
 
 fn main() {
     let bench = Benchmark::Go;
-    println!("{:12} {:>8} {:>10} {:>10} {:>8}", "policy", "IPC", "recycled%", "coverage%", "forks");
+    println!(
+        "{:12} {:>8} {:>10} {:>10} {:>8}",
+        "policy", "IPC", "recycled%", "coverage%", "forks"
+    );
     for policy in AltPolicy::figure5_sweep() {
         let config = SimConfig::big_2_16()
             .with_features(Features::rec_rs_ru())

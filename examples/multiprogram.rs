@@ -18,8 +18,9 @@ fn main() {
     );
     for n in [1usize, 2, 4] {
         let mut ipc = [0.0f64; 3];
-        for (i, features) in
-            [Features::smt(), Features::tme(), Features::rec_rs_ru()].into_iter().enumerate()
+        for (i, features) in [Features::smt(), Features::tme(), Features::rec_rs_ru()]
+            .into_iter()
+            .enumerate()
         {
             // Average the paper's evenly-weighted benchmark rotations
             // (use four of the eight to keep the example quick).

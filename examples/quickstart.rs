@@ -20,14 +20,33 @@ fn main() {
     let mut sim = Simulator::new(config, vec![program]);
     let stats = sim.run(50_000, 1_000_000);
 
-    println!("simulated {} cycles, committed {} instructions", stats.cycles, stats.committed);
+    println!(
+        "simulated {} cycles, committed {} instructions",
+        stats.cycles, stats.committed
+    );
     println!("IPC:                  {:.2}", stats.ipc());
     println!("branch accuracy:      {:.1}%", stats.branch_accuracy());
-    println!("instructions recycled:{:.1}% of renamed", stats.pct_recycled());
-    println!("instructions reused:  {:.2}% of renamed", stats.pct_reused());
+    println!(
+        "instructions recycled:{:.1}% of renamed",
+        stats.pct_recycled()
+    );
+    println!(
+        "instructions reused:  {:.2}% of renamed",
+        stats.pct_reused()
+    );
     println!("paths forked:         {}", stats.forks);
     println!("  covered mispredicts:{:.1}%", stats.pct_miss_covered());
-    println!("  recycled at least once: {:.1}%", stats.pct_forks_recycled());
-    println!("  re-spawned at least once: {:.1}%", stats.pct_forks_respawned());
-    println!("merges: {} ({:.1}% backward-branch)", stats.merges, stats.pct_back_merges());
+    println!(
+        "  recycled at least once: {:.1}%",
+        stats.pct_forks_recycled()
+    );
+    println!(
+        "  re-spawned at least once: {:.1}%",
+        stats.pct_forks_respawned()
+    );
+    println!(
+        "merges: {} ({:.1}% backward-branch)",
+        stats.merges,
+        stats.pct_back_merges()
+    );
 }

@@ -126,7 +126,9 @@ pub fn random_program(seed: u64, body_blocks: usize, outer: i16) -> Program {
 
 /// Reads the final scratch segment (including the checksum slot).
 pub fn scratch_dump(memory: &multipath_mem::Memory) -> Vec<u64> {
-    (0..SCRATCH_SLOTS as u64).map(|i| memory.read_u64(SCRATCH_BASE + i * 8)).collect()
+    (0..SCRATCH_SLOTS as u64)
+        .map(|i| memory.read_u64(SCRATCH_BASE + i * 8))
+        .collect()
 }
 
 #[cfg(test)]

@@ -4,8 +4,8 @@
 
 use multipath_core::emulator::Emulator;
 use multipath_core::{Features, ProgId, SimConfig, Simulator};
+use multipath_testkit::{prop_assert, prop_assert_eq, prop_test, TestRng};
 use multipath_tests::{random_program, scratch_dump};
-use proptest::prelude::*;
 
 fn reference_dump(p: &multipath_workload::Program) -> Vec<u64> {
     let mut emu = Emulator::new(p);
@@ -18,7 +18,11 @@ fn reference_dump(p: &multipath_workload::Program) -> Vec<u64> {
 fn pipeline_dump(p: multipath_workload::Program, config: SimConfig) -> Vec<u64> {
     let mut sim = Simulator::new(config, vec![p]);
     sim.run(u64::MAX, 3_000_000);
-    assert!(sim.program_finished(ProgId(0)), "pipeline starved at cycle {}", sim.cycle());
+    assert!(
+        sim.program_finished(ProgId(0)),
+        "pipeline starved at cycle {}",
+        sim.cycle()
+    );
     scratch_dump(sim.program_memory(ProgId(0)))
 }
 
@@ -28,8 +32,7 @@ fn fixed_seeds_all_features() {
         let p = random_program(seed, 5, 8);
         let expected = reference_dump(&p);
         for features in Features::all_six() {
-            let got =
-                pipeline_dump(p.clone(), SimConfig::big_2_16().with_features(features));
+            let got = pipeline_dump(p.clone(), SimConfig::big_2_16().with_features(features));
             assert_eq!(got, expected, "seed {seed} features {}", features.label());
         }
     }
@@ -58,24 +61,25 @@ fn lockstep_random_programs() {
     // validated against the reference as the simulation runs.
     for seed in 20..24u64 {
         let p = random_program(seed, 6, 10);
-        let mut sim =
-            Simulator::new(SimConfig::big_2_16().with_features(Features::rec_rs_ru()), vec![p]);
+        let mut sim = Simulator::new(
+            SimConfig::big_2_16().with_features(Features::rec_rs_ru()),
+            vec![p],
+        );
         sim.attach_reference(ProgId(0));
         sim.run(u64::MAX, 3_000_000);
         assert!(sim.program_finished(ProgId(0)));
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
-
+prop_test! {
     /// Randomized differential test over generator parameters.
-    #[test]
     fn random_programs_match_reference(
-        seed in 0u64..10_000,
-        blocks in 2usize..7,
-        outer in 3i16..10,
+        params in |rng: &mut TestRng| {
+            (rng.below(10_000), rng.len_in(2..7), rng.in_irange(3..10) as i16)
+        },
+        cases = 12,
     ) {
+        let (seed, blocks, outer) = params;
         let p = random_program(seed, blocks, outer);
         let expected = reference_dump(&p);
         let got = pipeline_dump(
@@ -84,18 +88,14 @@ proptest! {
         );
         prop_assert_eq!(got, expected);
     }
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
 
     /// Co-scheduled random programs are each architecturally identical to
     /// their stand-alone reference runs.
-    #[test]
     fn random_pairs_are_isolated(
-        seed_a in 0u64..5_000,
-        seed_b in 5_000u64..10_000,
+        seeds in |rng: &mut TestRng| (rng.below(5_000), rng.in_range(5_000..10_000)),
+        cases = 6,
     ) {
+        let (seed_a, seed_b) = seeds;
         let pa = random_program(seed_a, 4, 6);
         let pb = random_program(seed_b, 3, 7);
         let ea = reference_dump(&pa);

@@ -39,7 +39,12 @@ fn co_scheduling_is_architecturally_invisible() {
 
 #[test]
 fn four_programs_all_progress() {
-    let workload = [Benchmark::Compress, Benchmark::Go, Benchmark::Perl, Benchmark::Vortex];
+    let workload = [
+        Benchmark::Compress,
+        Benchmark::Go,
+        Benchmark::Perl,
+        Benchmark::Vortex,
+    ];
     let programs = mix::programs(&workload, 3);
     let config = SimConfig::big_2_16().with_features(Features::rec_rs_ru());
     let mut sim = Simulator::new(config, programs);
@@ -60,9 +65,21 @@ fn simulation_is_deterministic() {
         let config = SimConfig::big_2_16().with_features(Features::rec_rs_ru());
         let mut sim = Simulator::new(config, programs);
         let s = sim.run(20_000, 1_000_000);
-        (s.cycles, s.committed, s.renamed, s.recycled, s.reused, s.forks, s.merges)
+        (
+            s.cycles,
+            s.committed,
+            s.renamed,
+            s.recycled,
+            s.reused,
+            s.forks,
+            s.merges,
+        )
     };
-    assert_eq!(run(), run(), "identical inputs must give identical simulations");
+    assert_eq!(
+        run(),
+        run(),
+        "identical inputs must give identical simulations"
+    );
 }
 
 #[test]
