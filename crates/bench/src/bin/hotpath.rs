@@ -1,0 +1,131 @@
+//! Hot-path throughput harness: times the Figure 3 quick-budget sweep
+//! (48 cells) and reports simulated cycles per wall-clock second, serial
+//! and multi-threaded. This is the repo's perf gate — see EXPERIMENTS.md
+//! ("Hot-path throughput") for the methodology and how to compare runs
+//! across PRs.
+//!
+//! Knobs (all environment variables):
+//! - `MULTIPATH_BENCH_SAMPLES` — timed samples per point (default 10).
+//! - `MP_HOTPATH_THREADS` — comma-separated worker counts (default `1,8`).
+//! - `MP_HOTPATH_OUT` — where to write the JSON report (default
+//!   `BENCH_hotpath.json` in the current directory).
+//! - `MP_HOTPATH_LABEL` — label recorded for this build (default
+//!   `worktree`).
+//! - `MP_HOTPATH_BASELINE` — `serial_cps,threads8_cps` reference numbers;
+//!   when set, the report includes them plus speedup ratios.
+//!
+//! The sweep itself always uses the quick budget so results are
+//! comparable across machines and PRs regardless of `MULTIPATH_BUDGET`.
+
+use multipath_bench::{figure3_cells, parallel, run_cell, Budget};
+use multipath_testkit::BenchRunner;
+use std::fmt::Write as _;
+
+struct Point {
+    threads: usize,
+    total_sim_cycles: u64,
+    best_wall_s: f64,
+    median_wall_s: f64,
+}
+
+impl Point {
+    fn cycles_per_sec(&self) -> f64 {
+        self.total_sim_cycles as f64 / self.best_wall_s
+    }
+}
+
+fn main() {
+    let budget = Budget::quick();
+    let cells = figure3_cells(&budget);
+    let threads_list: Vec<usize> = std::env::var("MP_HOTPATH_THREADS")
+        .ok()
+        .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 8]);
+
+    // The sweep is deterministic, so the simulated-cycle total is fixed;
+    // compute it once from an untimed pass.
+    let total_sim_cycles: u64 = parallel::map_with(8, &cells, |c| run_cell(c, &budget))
+        .iter()
+        .map(|s| s.cycles)
+        .sum();
+
+    let mut runner = BenchRunner::from_env();
+    let mut points = Vec::new();
+    for &threads in &threads_list {
+        let name = format!("fig3-quick/threads={threads}");
+        runner.bench(&name, || {
+            parallel::map_with(threads, &cells, |c| run_cell(c, &budget))
+        });
+        let times = &runner.results().last().expect("just benched").1;
+        points.push(Point {
+            threads,
+            total_sim_cycles,
+            best_wall_s: times[0].as_secs_f64(),
+            median_wall_s: times[times.len() / 2].as_secs_f64(),
+        });
+    }
+
+    for p in &points {
+        println!(
+            "threads={}: {:.0} sim cycles/sec (best of {} samples)",
+            p.threads,
+            p.cycles_per_sec(),
+            runner.results()[0].1.len()
+        );
+    }
+
+    let report = render_report(&budget, cells.len(), &points);
+    let out = std::env::var("MP_HOTPATH_OUT").unwrap_or_else(|_| "BENCH_hotpath.json".to_owned());
+    std::fs::write(&out, &report).expect("write hotpath report");
+    println!("wrote {out}");
+}
+
+/// Renders the JSON report by hand — the workspace deliberately has no
+/// external crates, so there is no serde; the schema is documented in
+/// EXPERIMENTS.md and kept flat enough to diff by eye.
+fn render_report(budget: &Budget, cells: usize, points: &[Point]) -> String {
+    let label = std::env::var("MP_HOTPATH_LABEL").unwrap_or_else(|_| "worktree".to_owned());
+    let baseline: Option<(f64, f64)> = std::env::var("MP_HOTPATH_BASELINE").ok().and_then(|s| {
+        let (a, b) = s.split_once(',')?;
+        Some((a.trim().parse().ok()?, b.trim().parse().ok()?))
+    });
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"multipath-hotpath-bench/v1\",");
+    let _ = writeln!(out, "  \"benchmark\": \"fig3-quick-sweep\",");
+    let _ = writeln!(out, "  \"label\": \"{label}\",");
+    let _ = writeln!(
+        out,
+        "  \"budget\": {{ \"committed_per_program\": {}, \"max_cycles\": {}, \"seed\": {}, \"mixes\": {}, \"cells\": {} }},",
+        budget.committed_per_program, budget.max_cycles, budget.seed, budget.mixes, cells
+    );
+    let _ = writeln!(out, "  \"runs\": [");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{ \"threads\": {}, \"total_sim_cycles\": {}, \"best_wall_s\": {:.6}, \"median_wall_s\": {:.6}, \"cycles_per_sec\": {:.0} }}{comma}",
+            p.threads, p.total_sim_cycles, p.best_wall_s, p.median_wall_s, p.cycles_per_sec()
+        );
+    }
+    let _ = write!(out, "  ]");
+    if let Some((base_serial, base_par)) = baseline {
+        let serial = points.iter().find(|p| p.threads == 1);
+        let par = points.iter().find(|p| p.threads != 1);
+        let _ = write!(out, ",\n  \"baseline\": {{ ");
+        let _ = write!(
+            out,
+            "\"cycles_per_sec_serial\": {base_serial:.0}, \"cycles_per_sec_parallel\": {base_par:.0} }}"
+        );
+        if let (Some(s), Some(p)) = (serial, par) {
+            let _ = write!(
+                out,
+                ",\n  \"speedup\": {{ \"serial\": {:.3}, \"parallel\": {:.3} }}",
+                s.cycles_per_sec() / base_serial,
+                p.cycles_per_sec() / base_par
+            );
+        }
+    }
+    out.push_str("\n}\n");
+    out
+}

@@ -164,17 +164,24 @@ pub struct Fig3Row {
     pub ipc: [f64; 6],
 }
 
-/// Runs Figure 3 (single-program IPC for SMT/TME/REC/REC-RU/REC-RS/
-/// REC-RS-RU on the baseline machine). All 48 cells run in parallel.
-pub fn figure3(budget: &Budget) -> Vec<Fig3Row> {
-    let cells: Vec<Cell> = Benchmark::ALL
+/// The full Figure 3 cell list (8 benchmarks × 6 configurations), in the
+/// order `figure3` aggregates them. Exposed so the `hotpath` throughput
+/// harness times exactly the sweep the figure runs.
+pub fn figure3_cells(budget: &Budget) -> Vec<Cell> {
+    Benchmark::ALL
         .into_iter()
         .flat_map(|bench| {
             Features::all_six()
                 .into_iter()
                 .map(move |f| single_cell(bench, f, budget))
         })
-        .collect();
+        .collect()
+}
+
+/// Runs Figure 3 (single-program IPC for SMT/TME/REC/REC-RU/REC-RS/
+/// REC-RS-RU on the baseline machine). All 48 cells run in parallel.
+pub fn figure3(budget: &Budget) -> Vec<Fig3Row> {
+    let cells = figure3_cells(budget);
     let stats = parallel::run_cells(&cells, budget);
     Benchmark::ALL
         .into_iter()

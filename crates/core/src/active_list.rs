@@ -27,7 +27,7 @@ pub enum EntryState {
 }
 
 /// Resolution state of an in-flight control instruction.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BranchState {
     /// Predicted direction (always `true` for unconditional control).
     pub predicted_taken: bool,
@@ -57,7 +57,11 @@ pub struct MemState {
 /// One active-list entry: everything needed to commit the instruction
 /// *and* to recycle it later (decoded opcode, logical registers, and the
 /// physical mappings of Section 3's "additional information").
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Entries are plain `Copy` data — the replay buffers and recycle streams
+/// move them through [`crate::arena::Slab`] pools and 8-byte handles
+/// rather than cloning through the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AlEntry {
     /// Per-context trace sequence number (slot = `seq % capacity`).
     pub seq: u64,
@@ -107,10 +111,17 @@ pub struct AlEntry {
 pub struct ActiveList {
     slots: Vec<Option<AlEntry>>,
     capacity: usize,
+    /// `capacity - 1` when the capacity is a power of two, letting the
+    /// hot slot computation be a mask instead of a division.
+    mask: Option<u64>,
     /// Sequence of the oldest live (uncommitted) entry.
     head_seq: u64,
     /// Sequence the next insertion will get.
     next_seq: u64,
+    /// Branch-resolution scan cursor: every live entry below this sequence
+    /// is known to hold no unresolved control instruction, so the in-order
+    /// resolver can start here instead of at `head_seq`.
+    resolve_hint: u64,
 }
 
 impl ActiveList {
@@ -124,8 +135,18 @@ impl ActiveList {
         ActiveList {
             slots: vec![None; capacity],
             capacity,
+            mask: capacity.is_power_of_two().then_some(capacity as u64 - 1),
             head_seq: 0,
             next_seq: 0,
+            resolve_hint: 0,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, seq: u64) -> usize {
+        match self.mask {
+            Some(m) => (seq & m) as usize,
+            None => (seq % self.capacity as u64) as usize,
         }
     }
 
@@ -171,7 +192,7 @@ impl ActiveList {
         assert!(self.has_space(), "active list overflow");
         let seq = self.next_seq;
         entry.seq = seq;
-        let slot = (seq % self.capacity as u64) as usize;
+        let slot = self.slot(seq);
         self.slots[slot] = Some(entry);
         self.next_seq += 1;
         seq
@@ -181,13 +202,13 @@ impl ActiveList {
     /// slot still holds it (pure sequence match; use [`ActiveList::is_live`]
     /// to distinguish in-flight entries).
     pub fn at_seq(&self, seq: u64) -> Option<&AlEntry> {
-        let slot = (seq % self.capacity as u64) as usize;
+        let slot = self.slot(seq);
         self.slots[slot].as_ref().filter(|e| e.seq == seq)
     }
 
     /// Mutable access to the entry at `seq` (live or retained).
     pub fn at_seq_mut(&mut self, seq: u64) -> Option<&mut AlEntry> {
-        let slot = (seq % self.capacity as u64) as usize;
+        let slot = self.slot(seq);
         self.slots[slot].as_mut().filter(|e| e.seq == seq)
     }
 
@@ -214,14 +235,27 @@ impl ActiveList {
     }
 
     /// Squashes all live entries with sequence >= `from_seq`, returning
-    /// their sequence numbers youngest-first (the order recovery must
-    /// process them in). The entries remain retained in their slots.
-    pub fn squash_from(&mut self, from_seq: u64) -> Vec<u64> {
+    /// the squashed sequence range (recovery iterates it `.rev()`,
+    /// youngest-first). The entries remain retained in their slots.
+    pub fn squash_from(&mut self, from_seq: u64) -> std::ops::Range<u64> {
         let from = from_seq.max(self.head_seq);
-        let squashed: Vec<u64> = (from..self.next_seq).rev().collect();
+        let squashed = from..self.next_seq;
         self.next_seq = from;
         self.head_seq = self.head_seq.min(from);
+        self.resolve_hint = self.resolve_hint.min(from);
         squashed
+    }
+
+    /// Where the in-order branch resolver should start scanning: the
+    /// oldest live sequence that may still hold unresolved control.
+    pub fn resolve_scan_start(&self) -> u64 {
+        self.resolve_hint.max(self.head_seq)
+    }
+
+    /// Records that every live entry below `seq` is resolved (or holds no
+    /// control instruction), advancing the resolver's scan start.
+    pub fn set_resolve_hint(&mut self, seq: u64) {
+        self.resolve_hint = seq.min(self.next_seq).max(self.resolve_hint);
     }
 
     /// Iterates live entries oldest-first.
@@ -235,6 +269,7 @@ impl ActiveList {
         self.slots.fill(None);
         self.head_seq = 0;
         self.next_seq = 0;
+        self.resolve_hint = 0;
     }
 
     /// Capacity in slots.
@@ -306,7 +341,7 @@ mod tests {
         for i in 0..5 {
             al.insert(test_entry(0x100 + i * 4, i));
         }
-        let squashed = al.squash_from(2);
+        let squashed: Vec<u64> = al.squash_from(2).rev().collect();
         assert_eq!(squashed, vec![4, 3, 2], "youngest first");
         assert_eq!(al.live(), 2);
         assert_eq!(al.next_seq(), 2);
@@ -355,6 +390,52 @@ mod tests {
         assert_eq!(al.live(), 0);
         assert_eq!(al.next_seq(), 0);
         assert!(al.at_seq(0).is_none());
+    }
+
+    #[test]
+    fn resolve_hint_is_monotone_until_squash() {
+        let mut al = ActiveList::new(8);
+        for i in 0..6 {
+            al.insert(test_entry(i * 4, i));
+        }
+        assert_eq!(al.resolve_scan_start(), 0);
+        al.set_resolve_hint(4);
+        assert_eq!(al.resolve_scan_start(), 4);
+        al.set_resolve_hint(2);
+        assert_eq!(al.resolve_scan_start(), 4, "hint never moves backwards");
+        al.set_resolve_hint(100);
+        assert_eq!(al.resolve_scan_start(), 6, "hint clamped to next_seq");
+        al.squash_from(3);
+        assert_eq!(al.resolve_scan_start(), 3, "squash rolls the hint back");
+        al.clear();
+        assert_eq!(al.resolve_scan_start(), 0);
+    }
+
+    #[test]
+    fn resolve_hint_never_trails_head() {
+        let mut al = ActiveList::new(8);
+        for i in 0..4 {
+            al.insert(test_entry(i * 4, i));
+        }
+        al.commit_front();
+        al.commit_front();
+        assert_eq!(al.resolve_scan_start(), 2, "scan starts at head at minimum");
+    }
+
+    #[test]
+    fn non_pow2_capacity_addresses_slots_identically() {
+        // The pow2 mask is an addressing fast path only; a capacity that
+        // forces the modulo path must behave the same across wraps.
+        for cap in [3usize, 4] {
+            let mut al = ActiveList::new(cap);
+            for i in 0..(2 * cap as u64 + 1) {
+                al.insert(test_entry(0x100 + i * 4, i));
+                al.commit_front();
+            }
+            let newest = 2 * cap as u64;
+            assert_eq!(al.at_seq(newest).unwrap().pc, 0x100 + newest * 4);
+            assert!(al.at_seq(newest - cap as u64).is_none(), "slot overwritten");
+        }
     }
 
     #[test]

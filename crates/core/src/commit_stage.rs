@@ -52,28 +52,27 @@ impl Simulator {
     /// Retires the oldest entry of `ctx`.
     fn commit_one(&mut self, ctx: CtxId) {
         let seq = self.contexts[ctx.index()].al.commit_front();
-        let (op, tag, old_preg, mem) = {
+        // One active-list access per retirement: mutate the retained entry,
+        // then work from a copied snapshot.
+        let snap = {
             let e = self.contexts[ctx.index()]
                 .al
                 .at_seq_mut(seq)
                 .expect("just committed");
             e.regs_held = false;
-            (e.inst.op, e.tag, e.old_preg.take(), e.mem)
+            let snap = *e;
+            e.old_preg = None;
+            snap
         };
+        let (op, tag, old_preg, mem) = (snap.inst.op, snap.tag, snap.old_preg, snap.mem);
         if self.commit_log.is_some() || self.reference.is_some() {
-            let (pc, value, inst, reused, recycled) = {
-                let e = self.contexts[ctx.index()]
-                    .al
-                    .at_seq(seq)
-                    .expect("just committed");
-                (
-                    e.pc,
-                    e.new_preg.map(|p| self.regs.read(p)),
-                    e.inst,
-                    e.reused,
-                    e.recycled,
-                )
-            };
+            let (pc, value, inst, reused, recycled) = (
+                snap.pc,
+                snap.new_preg.map(|p| self.regs.read(p)),
+                snap.inst,
+                snap.reused,
+                snap.recycled,
+            );
             if let Some(log) = self.commit_log.as_mut() {
                 log.push((pc, value));
             }

@@ -67,8 +67,11 @@ pub struct MergePoint {
 pub enum StreamSource {
     /// Read from a context's active list (merge recycling).
     Context(CtxId),
-    /// Drained entries replayed on respawn.
-    Buffer(VecDeque<crate::active_list::AlEntry>),
+    /// Drained entries replayed on respawn. The handles index the
+    /// simulator's replay pool ([`crate::sim::Simulator`]'s `replay_pool`);
+    /// they must be freed through `Simulator::drop_stream`, never by
+    /// dropping the stream directly.
+    Buffer(VecDeque<crate::arena::Handle>),
 }
 
 /// An in-progress recycle stream feeding a thread's rename input.
@@ -370,8 +373,10 @@ mod tests {
             fresh: [false; multipath_isa::NUM_LOGICAL_REGS],
         };
         assert_eq!(s.remaining(), 7);
+        let mut pool = crate::arena::Slab::new();
+        let h = pool.insert(test_entry(0, 0));
         let b = RecycleStream {
-            source: StreamSource::Buffer([test_entry(0, 0)].into_iter().collect()),
+            source: StreamSource::Buffer([h].into_iter().collect()),
             next_seq: 0,
             end_seq: 0,
             reuse_allowed: false,

@@ -13,21 +13,28 @@ impl Simulator {
     /// Runs one fetch cycle.
     pub(crate) fn fetch_stage(&mut self) {
         self.finalize_alternates();
-        let icounts = self.icounts();
-        let mut candidates: Vec<CtxId> = (0..self.contexts.len())
-            .map(|i| CtxId(i as u8))
-            .filter(|&c| self.can_fetch(c))
-            .collect();
+        // Selection runs on reusable scratch buffers: no per-cycle Vecs.
+        let mut icounts = std::mem::take(&mut self.scratch.icounts);
+        self.fill_icounts(&mut icounts);
+        let mut candidates = std::mem::take(&mut self.scratch.candidates);
+        candidates.clear();
+        candidates.extend(
+            (0..self.contexts.len())
+                .map(|i| CtxId(i as u8))
+                .filter(|&c| self.can_fetch(c)),
+        );
         candidates.sort_by_key(|c| icounts[c.index()]);
 
         let mut budget = self.config.fetch_total;
-        for ctx in candidates.into_iter().take(self.config.fetch_threads) {
+        for &ctx in candidates.iter().take(self.config.fetch_threads) {
             if budget == 0 {
                 break;
             }
             let max = budget.min(self.config.fetch_per_thread);
             budget -= self.fetch_block(ctx, max);
         }
+        self.scratch.icounts = icounts;
+        self.scratch.candidates = candidates;
     }
 
     /// Whether a context may fetch this cycle.
@@ -228,8 +235,8 @@ impl Simulator {
         if is_primary {
             // 1. First-instruction merge with a spare context's trace
             //    (alternate, inactive, or draining) — the reuse-capable case.
-            let members = self.group_of(ctx).members.clone();
-            for c in members {
+            let span = self.group_span(ctx);
+            for c in span.iter() {
                 if c == ctx {
                     continue;
                 }

@@ -8,7 +8,6 @@ use crate::lsq::StoreEntry;
 use crate::sim::{CompletionEvent, IqEntry, Simulator};
 use multipath_isa::{FuClass, OperandClass};
 use std::cmp::Reverse;
-use std::collections::VecDeque;
 
 impl Simulator {
     /// Runs one issue cycle.
@@ -26,21 +25,23 @@ impl Simulator {
     /// functional-unit budgets. Stale entries (squashed or undispatched)
     /// are dropped.
     fn scan_queue(&mut self, fp_queue: bool, primary_budget: &mut usize, ls_budget: &mut usize) {
-        let len = if fp_queue {
-            self.iq_fp.len()
+        // Take the queue out and compact it in place: kept entries slide
+        // down over dropped/issued ones, preserving age order with no
+        // per-cycle allocation.
+        let mut q = std::mem::take(if fp_queue {
+            &mut self.iq_fp
         } else {
-            self.iq_int.len()
-        };
-        let mut kept: VecDeque<IqEntry> = VecDeque::with_capacity(len);
-        for _ in 0..len {
-            let e = if fp_queue {
-                self.iq_fp.pop_front().expect("len checked")
-            } else {
-                self.iq_int.pop_front().expect("len checked")
-            };
+            &mut self.iq_int
+        });
+        let mut kept = 0;
+        for i in 0..q.len() {
+            let e = q[i];
             match self.classify(&e, *primary_budget, *ls_budget) {
                 IqDisposition::Drop => {}
-                IqDisposition::Keep => kept.push_back(e),
+                IqDisposition::Keep => {
+                    q[kept] = e;
+                    kept += 1;
+                }
                 IqDisposition::Issue => {
                     *primary_budget -= 1;
                     if e.fu == FuClass::LoadStore {
@@ -50,10 +51,11 @@ impl Simulator {
                 }
             }
         }
+        q.truncate(kept);
         if fp_queue {
-            self.iq_fp = kept;
+            self.iq_fp = q;
         } else {
-            self.iq_int = kept;
+            self.iq_int = q;
         }
     }
 
@@ -180,8 +182,10 @@ impl Simulator {
     /// early lets independent loads bypass stores still waiting on data.
     fn probe_store_addresses(&mut self) {
         for i in 0..self.contexts.len() {
-            let pending = self.contexts[i].pending_stores.clone();
-            for (tag, seq) in pending {
+            // Probing never adds or removes pending stores, so index
+            // through the list instead of cloning it.
+            for k in 0..self.contexts[i].pending_stores.len() {
+                let (tag, seq) = self.contexts[i].pending_stores[k];
                 let Some(e) = self.contexts[i].al.at_seq(seq) else {
                     continue;
                 };

@@ -50,6 +50,7 @@
 //! ```
 
 pub mod active_list;
+pub mod arena;
 pub mod commit_stage;
 pub mod config;
 pub mod context;

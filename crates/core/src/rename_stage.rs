@@ -23,38 +23,45 @@ impl Simulator {
     /// Runs one rename cycle.
     pub(crate) fn rename_stage(&mut self) {
         let mut budget = self.config.rename_width;
-        let icounts = self.icounts();
-        let mut order: Vec<CtxId> = (0..self.contexts.len()).map(|i| CtxId(i as u8)).collect();
+        let mut icounts = std::mem::take(&mut self.scratch.icounts);
+        let mut order = std::mem::take(&mut self.scratch.order);
+        self.fill_icounts(&mut icounts);
+        order.clear();
+        order.extend((0..self.contexts.len()).map(|i| CtxId(i as u8)));
         order.sort_by_key(|c| icounts[c.index()]);
 
-        // Phase A: fetched-path instructions. A thread with an active
-        // stream still renames its *pre-stream* decode items here — they
-        // are older than the trace.
-        for &ctx in &order {
-            if budget == 0 {
-                return;
-            }
-            budget = self.rename_from_decode(ctx, budget);
-        }
-        // Phase B: recycled instructions fill the remaining slots, once
-        // the pre-stream fetched instructions have cleared.
-        for &ctx in &order {
-            if budget == 0 {
-                return;
-            }
-            let gated = match &self.contexts[ctx.index()].recycle_stream {
-                None => true,
-                Some(s) => s.pre_items > 0,
-            };
-            if gated {
-                continue;
-            }
-            budget = self.rename_from_stream(ctx, budget);
-            if budget > 0 && self.contexts[ctx.index()].recycle_stream.is_none() {
-                // Stream drained this cycle; the decode pipe may follow.
+        'stage: {
+            // Phase A: fetched-path instructions. A thread with an active
+            // stream still renames its *pre-stream* decode items here —
+            // they are older than the trace.
+            for &ctx in &order {
+                if budget == 0 {
+                    break 'stage;
+                }
                 budget = self.rename_from_decode(ctx, budget);
             }
+            // Phase B: recycled instructions fill the remaining slots, once
+            // the pre-stream fetched instructions have cleared.
+            for &ctx in &order {
+                if budget == 0 {
+                    break 'stage;
+                }
+                let gated = match &self.contexts[ctx.index()].recycle_stream {
+                    None => true,
+                    Some(s) => s.pre_items > 0,
+                };
+                if gated {
+                    continue;
+                }
+                budget = self.rename_from_stream(ctx, budget);
+                if budget > 0 && self.contexts[ctx.index()].recycle_stream.is_none() {
+                    // Stream drained this cycle; the decode pipe may follow.
+                    budget = self.rename_from_decode(ctx, budget);
+                }
+            }
         }
+        self.scratch.icounts = icounts;
+        self.scratch.order = order;
     }
 
     /// Enforces the alternate-path instruction cap (Section 5.2) at the
@@ -84,7 +91,7 @@ impl Simulator {
             }
         }
         c.decode_pipe.clear();
-        c.recycle_stream = None;
+        self.drop_stream(ctx);
         #[cfg(debug_assertions)]
         {
             let cyc = self.cycle;
@@ -148,16 +155,18 @@ impl Simulator {
             let expected_pc = stream.expected_pc;
             let reuse_allowed = stream.reuse_allowed;
 
-            // Pull the next trace entry.
-            let (entry, source_ctx) = match &stream.source {
+            // Pull the next trace entry. Buffer sources are *peeked* here
+            // and only popped (and their pool slot freed) once the entry
+            // actually renames, so stalls need no restore step.
+            let (entry, source_ctx, buf_handle) = match &stream.source {
                 StreamSource::Context(src) => {
                     let src = *src;
                     if stream.next_seq >= stream.end_seq {
-                        self.contexts[ctx.index()].recycle_stream = None;
+                        self.drop_stream(ctx);
                         break;
                     }
                     match self.contexts[src.index()].al.at_seq(stream.next_seq) {
-                        Some(e) if e.pc == expected_pc => (e.clone(), Some(src)),
+                        Some(e) if e.pc == expected_pc => (*e, Some(src), None),
                         _ => {
                             // Trace overwritten or rewritten under us: the
                             // remainder must be fetched instead.
@@ -166,38 +175,28 @@ impl Simulator {
                         }
                     }
                 }
-                StreamSource::Buffer(_) => {
-                    let Some(stream) = &mut self.contexts[ctx.index()].recycle_stream else {
-                        break;
-                    };
-                    let StreamSource::Buffer(buf) = &mut stream.source else {
-                        unreachable!()
-                    };
-                    match buf.pop_front() {
-                        Some(e) if e.pc == expected_pc => (e, None),
-                        Some(_) => {
+                StreamSource::Buffer(buf) => match buf.front().copied() {
+                    Some(h) => {
+                        let e = *self.replay_pool.get(h).expect("live replay handle");
+                        if e.pc == expected_pc {
+                            (e, None, Some(h))
+                        } else {
                             // Replay discontinuity: refetch from here.
                             self.cancel_stream(ctx, expected_pc);
                             break;
                         }
-                        None => {
-                            self.contexts[ctx.index()].recycle_stream = None;
-                            break;
-                        }
                     }
-                }
+                    None => {
+                        self.drop_stream(ctx);
+                        break;
+                    }
+                },
             };
 
             // Resource precheck before predicting: predict_next mutates
             // the GHR/RAS, which must happen exactly once per consumed
             // entry.
             if !self.can_rename(ctx, &entry.inst) {
-                // Buffer entries were already popped; restore.
-                if let Some(stream) = &mut self.contexts[ctx.index()].recycle_stream {
-                    if let StreamSource::Buffer(buf) = &mut stream.source {
-                        buf.push_front(entry);
-                    }
-                }
                 break;
             }
             // Re-check control-flow predictions against the stream's own
@@ -288,20 +287,21 @@ impl Simulator {
                 }
             }
             match outcome {
-                Ok(()) => budget -= 1,
-                Err(Stall::Resources) => {
-                    // Roll the entry back for next cycle. (Buffer entries
-                    // must be pushed back; context streams just re-read.)
-                    // The GHR/RAS side effects of predict_next are benign
-                    // to repeat for the same instruction only if we undo
-                    // nothing — so for buffer sources, restore the entry.
-                    if let Some(stream) = &mut self.contexts[ctx.index()].recycle_stream {
-                        if let StreamSource::Buffer(buf) = &mut stream.source {
-                            buf.push_front(entry);
+                Ok(()) => {
+                    budget -= 1;
+                    // The peeked buffer entry is consumed: pop its handle
+                    // and recycle the pool slot.
+                    if let Some(h) = buf_handle {
+                        if let Some(stream) = &mut self.contexts[ctx.index()].recycle_stream {
+                            if let StreamSource::Buffer(buf) = &mut stream.source {
+                                let popped = buf.pop_front();
+                                debug_assert_eq!(popped, Some(h));
+                            }
                         }
+                        self.replay_pool.free(h);
                     }
-                    break;
                 }
+                Err(Stall::Resources) => break,
             }
 
             // Advance the stream.
@@ -319,7 +319,7 @@ impl Simulator {
                     // was re-resolved underneath us), the post-trace fetch
                     // is wrong-path: discard and refetch.
                     let (expected, resume) = (stream.expected_pc, stream.resume_pc);
-                    self.contexts[ctx.index()].recycle_stream = None;
+                    self.drop_stream(ctx);
                     if !diverges && expected != resume {
                         self.cancel_stream(ctx, expected);
                         break;
@@ -359,14 +359,14 @@ impl Simulator {
     /// Abandons `ctx`'s recycle stream and redirects fetch to `pc`.
     fn cancel_stream(&mut self, ctx: CtxId, pc: u64) {
         let cycle = self.cycle;
-        let c = &mut self.contexts[ctx.index()];
         // Repair the GHR to the mid-trace view: the trace's remaining
         // directions and the (now discarded) post-trace fetch are gone.
-        if let Some(stream) = &c.recycle_stream {
+        if let Some(stream) = &self.contexts[ctx.index()].recycle_stream {
             let bits = stream.ghr.bits();
-            c.ghr.set(bits);
+            self.contexts[ctx.index()].ghr.set(bits);
         }
-        c.recycle_stream = None;
+        self.drop_stream(ctx);
+        let c = &mut self.contexts[ctx.index()];
         // Anything fetched past the trace is younger than `pc`; discard it.
         c.decode_pipe.clear();
         c.fetch_pc = pc;
@@ -433,8 +433,8 @@ impl Simulator {
         // paper's written-bit rule): exempting the source context would
         // let a *second* merge of the same path reuse values that are one
         // iteration stale.
-        let members = self.group_of(ctx).members.clone();
-        self.written.set_row(dest, members.into_iter());
+        let span = self.group_span(ctx);
+        self.written.set_row(dest, span.iter());
 
         let tag = self.alloc_tag();
         let new = AlEntry {
@@ -567,8 +567,8 @@ impl Simulator {
             (Some(d), Some(p)) => {
                 let old = self.map.set(ctx, d, p);
                 if self.is_primary(ctx) {
-                    let members = self.group_of(ctx).members.clone();
-                    self.written.set_row(d, members.into_iter());
+                    let span = self.group_span(ctx);
+                    self.written.set_row(d, span.iter());
                 }
                 old
             }
@@ -786,8 +786,8 @@ impl Simulator {
         // the same start does not block a new fork: the new branch instance
         // needs cover from *its own* register snapshot (see DESIGN.md).
         if f.recycle {
-            let members = self.group_of(ctx).members.clone();
-            let stopped_same_start = members.iter().copied().find(|&c| {
+            let span = self.group_span(ctx);
+            let stopped_same_start = span.iter().find(|&c| {
                 c != ctx
                     && self.contexts[c.index()].in_flight == 0
                     && matches!(
@@ -802,9 +802,9 @@ impl Simulator {
             if let Some(c) = stopped_same_start {
                 if f.respawn {
                     if matches!(self.contexts[c.index()].state, CtxState::Alternate { .. }) {
+                        self.drop_stream(c);
                         let cc = &mut self.contexts[c.index()];
                         cc.decode_pipe.clear();
-                        cc.recycle_stream = None;
                         cc.fetch_stopped = true;
                         cc.state = CtxState::Inactive;
                     }

@@ -7,6 +7,8 @@
 //! [`crate::commit_stage`], and [`crate::tme`] (fork/swap/respawn/reclaim
 //! mechanics).
 
+use crate::active_list::AlEntry;
+use crate::arena::{Scratch, Slab};
 use crate::config::SimConfig;
 use crate::context::Context;
 use crate::ids::{CtxId, InstTag, PhysReg, ProgId};
@@ -44,6 +46,22 @@ pub struct Group {
     pub members: Vec<CtxId>,
     /// The context currently executing the primary path.
     pub primary: CtxId,
+}
+
+/// A group's member contexts as a `Copy` range — members are contiguous
+/// by construction (`Simulator::new` assigns `p*size..(p+1)*size`), so
+/// stages iterate this instead of cloning the `members` vector.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct GroupSpan {
+    start: u8,
+    len: u8,
+}
+
+impl GroupSpan {
+    /// Iterates the member context ids, in group order.
+    pub(crate) fn iter(self) -> impl Iterator<Item = CtxId> {
+        (self.start..self.start + self.len).map(CtxId)
+    }
 }
 
 /// An instruction-queue entry (the wakeup/select window).
@@ -112,6 +130,11 @@ pub struct Simulator {
     pub(crate) next_tag: u64,
     pub(crate) stats: Stats,
     pub(crate) forks_this_cycle: usize,
+    /// Reusable per-cycle working buffers (no steady-state allocation).
+    pub(crate) scratch: Scratch,
+    /// Pool holding respawn replay-buffer entries; streams carry 8-byte
+    /// handles into this slab instead of owning cloned entries.
+    pub(crate) replay_pool: Slab<AlEntry>,
     /// When enabled, every committed instruction is appended as
     /// `(pc, destination value)` — a debugging aid for comparing
     /// architectural execution across configurations.
@@ -191,7 +214,7 @@ impl Simulator {
                     // Spare regions take their own references: a register
                     // named by any map region must stay alive (see
                     // `copy_region_with_refs`).
-                    for (_, preg) in map.region(primary).collect::<Vec<_>>() {
+                    for (_, preg) in map.region(primary) {
                         regs.add_ref(preg);
                     }
                     map.copy_region(primary, c);
@@ -225,6 +248,8 @@ impl Simulator {
             next_tag: 0,
             stats,
             forks_this_cycle: 0,
+            scratch: Scratch::default(),
+            replay_pool: Slab::new(),
             cycle: 0,
             config,
             commit_log: None,
@@ -413,15 +438,16 @@ impl Simulator {
     /// from under it by the parent's commits (the constraint behind the
     /// paper's register-reclaim protocol, Section 3.5).
     pub(crate) fn copy_region_with_refs(&mut self, from: CtxId, to: CtxId) {
-        let new_refs: Vec<PhysReg> = self.map.region(from).map(|(_, p)| p).collect();
-        let old_refs: Vec<PhysReg> = self.map.region(to).map(|(_, p)| p).collect();
-        for p in new_refs {
+        // References on the incoming region must be taken before the old
+        // region's are dropped: if a register appears in both, releasing
+        // first could free it out from under the copy.
+        for (_, p) in self.map.region(from) {
             self.regs.add_ref(p);
         }
-        self.map.copy_region(from, to);
-        for p in old_refs {
+        for (_, p) in self.map.region(to) {
             self.regs.release(p);
         }
+        self.map.copy_region(from, to);
     }
 
     // ------------------------------------------------------------------
@@ -445,6 +471,31 @@ impl Simulator {
         self.group_of(ctx).primary == ctx
     }
 
+    /// The member contexts of `ctx`'s group as a `Copy` span, for
+    /// iteration that must not hold a borrow of `self`.
+    pub(crate) fn group_span(&self, ctx: CtxId) -> GroupSpan {
+        let g = self.group_of(ctx);
+        GroupSpan {
+            start: g.members[0].0,
+            len: g.members.len() as u8,
+        }
+    }
+
+    /// Tears down `ctx`'s recycle stream, if any, returning replay-buffer
+    /// entries to [`Simulator::replay_pool`] and the emptied queue to the
+    /// scratch spares. Every site that ends a stream must go through here
+    /// (not `recycle_stream = None`) or pool slots leak until reset.
+    pub(crate) fn drop_stream(&mut self, ctx: CtxId) {
+        if let Some(stream) = self.contexts[ctx.index()].recycle_stream.take() {
+            if let crate::context::StreamSource::Buffer(mut buf) = stream.source {
+                for h in buf.drain(..) {
+                    self.replay_pool.free(h);
+                }
+                self.scratch.spare_replay_queues.push(buf);
+            }
+        }
+    }
+
     /// The address-space id of the program a context runs.
     pub(crate) fn asid_of(&self, ctx: CtxId) -> Asid {
         let prog = self.contexts[ctx.index()]
@@ -453,9 +504,11 @@ impl Simulator {
         self.programs[prog.index()].asid
     }
 
-    /// Front-end + queue occupancy per context (the ICOUNT heuristic).
-    pub(crate) fn icounts(&self) -> Vec<u64> {
-        let mut counts = vec![0u64; self.contexts.len()];
+    /// Front-end + queue occupancy per context (the ICOUNT heuristic),
+    /// written into a caller-owned scratch buffer.
+    pub(crate) fn fill_icounts(&self, counts: &mut Vec<u64>) {
+        counts.clear();
+        counts.resize(self.contexts.len(), 0);
         for ctx in &self.contexts {
             let mut n = ctx.decode_pipe.len() as u64;
             if let Some(stream) = &ctx.recycle_stream {
@@ -469,34 +522,40 @@ impl Simulator {
                 counts[e.ctx.index()] += 1;
             }
         }
-        counts
     }
 
     /// Reads the value a load would see: own store queue, then ancestor
     /// queues bounded by fork tags, then committed memory.
     pub(crate) fn read_visible(&self, ctx: CtxId, tag: InstTag, addr: u64, width: u8) -> u64 {
+        // The fork chain visits each context at most once plus a defensive
+        // extra slot, and `SimConfig::validate` caps contexts at 8 — so
+        // the store-queue chain fits a stack array; loads allocate nothing.
+        const MAX_CHAIN: usize = 9;
         let prog = self.contexts[ctx.index()]
             .prog
             .expect("load on unbound context");
         let memory = &self.programs[prog.index()].memory;
-        let mut chain: Vec<(&crate::lsq::StoreQueue, InstTag)> = Vec::with_capacity(4);
+        let mut chain: [(&crate::lsq::StoreQueue, InstTag); MAX_CHAIN] =
+            [(&self.contexts[ctx.index()].sq, tag); MAX_CHAIN];
+        let mut n = 0;
         let mut cur = ctx;
         let mut bound = tag;
         loop {
             let c = &self.contexts[cur.index()];
-            chain.push((&c.sq, bound));
+            chain[n] = (&c.sq, bound);
+            n += 1;
             match c.fork_link {
                 Some(link) if self.contexts[link.parent.index()].prog == c.prog => {
                     bound = InstTag(link.fork_tag.0.min(bound.0));
                     cur = link.parent;
-                    if chain.len() > self.contexts.len() {
+                    if n > self.contexts.len() {
                         break; // defensive: cycles cannot happen, but cap anyway
                     }
                 }
                 _ => break,
             }
         }
-        crate::lsq::load_value(memory, &chain, addr, width)
+        crate::lsq::load_value(memory, &chain[..n], addr, width)
     }
 
     /// Whether a load at `tag` in `ctx` reading `[addr, addr+width)` must

@@ -1,7 +1,7 @@
 //! Threaded multipath execution mechanics: forking, swapping on covered
 //! mispredictions, re-spawning, context reclaim, and squash/recovery.
 
-use crate::active_list::{AlEntry, EntryState};
+use crate::active_list::EntryState;
 use crate::context::{CtxState, RecycleStream, StreamSource};
 use crate::ids::{CtxId, InstTag};
 use crate::sim::Simulator;
@@ -17,8 +17,10 @@ impl Simulator {
     /// Returns the number of entries squashed.
     pub(crate) fn squash_ctx_from(&mut self, ctx: CtxId, from_seq: u64) -> usize {
         let seqs = self.contexts[ctx.index()].al.squash_from(from_seq);
-        let count = seqs.len();
-        for seq in seqs {
+        let count = seqs.end.saturating_sub(seqs.start) as usize;
+        // Youngest first: recovery must unwind the map in reverse rename
+        // order so each restored `old_preg` lands before it is re-displaced.
+        for seq in seqs.rev() {
             // Clone the small bits we need, then mutate freely.
             let (dest, new_preg, old_preg, state, srcs, tag, is_store, fork) = {
                 let e = self.contexts[ctx.index()]
@@ -145,11 +147,11 @@ impl Simulator {
         // references and must never issue against freed registers).
         self.undispatch(ctx);
         self.squash_ctx_from(ctx, 0);
+        self.drop_stream(ctx);
         let c = &mut self.contexts[ctx.index()];
         c.sq.clear();
         c.pending_stores.clear();
         c.decode_pipe.clear();
-        c.recycle_stream = None;
         c.state = CtxState::Idle;
         c.fork_link = None;
         c.commit_gate = None;
@@ -164,19 +166,18 @@ impl Simulator {
     /// one exists, otherwise (recycle mode) the least-recently-used
     /// reclaimable inactive context.
     pub(crate) fn pick_spare(&mut self, parent: CtxId) -> Option<CtxId> {
-        let members = self.group_of(parent).members.clone();
-        if let Some(&idle) = members
+        let span = self.group_span(parent);
+        if let Some(idle) = span
             .iter()
-            .find(|&&c| self.contexts[c.index()].state == CtxState::Idle && c != parent)
+            .find(|&c| self.contexts[c.index()].state == CtxState::Idle && c != parent)
         {
             return Some(idle);
         }
         if !self.config.features.recycle {
             return None;
         }
-        let lru = members
+        let lru = span
             .iter()
-            .copied()
             .filter(|&c| c != parent && self.contexts[c.index()].reclaimable())
             .min_by_key(|&c| self.contexts[c.index()].last_used)?;
         self.release_alternate(lru);
@@ -188,11 +189,9 @@ impl Simulator {
     /// alternates, then (in extremis) unresolved alternates, which plain
     /// TME would have been allowed to squash anyway.
     pub(crate) fn relieve_register_pressure(&mut self, primary: CtxId) {
-        let members = self.group_of(primary).members.clone();
+        let span = self.group_span(primary);
         let pick = |sim: &Simulator, pred: &dyn Fn(&crate::context::Context) -> bool| {
-            members
-                .iter()
-                .copied()
+            span.iter()
                 .filter(|&c| c != primary && pred(&sim.contexts[c.index()]))
                 .min_by_key(|&c| sim.contexts[c.index()].last_used)
         };
@@ -222,6 +221,7 @@ impl Simulator {
         history: GlobalHistory,
     ) {
         debug_assert_eq!(self.contexts[alt.index()].state, CtxState::Idle);
+        self.drop_stream(alt);
         self.copy_region_with_refs(parent, alt);
         self.written.reset_column(alt);
         let ras = self.contexts[parent.index()].ras.clone();
@@ -248,7 +248,6 @@ impl Simulator {
         c.fork_link = Some(crate::lsq::ForkLink { parent, fork_tag });
         c.commit_gate = None;
         c.decode_pipe.clear();
-        c.recycle_stream = None;
         c.back_merge = None;
         c.squash_merge = None;
         c.fetched_total = 0;
@@ -280,17 +279,21 @@ impl Simulator {
         // across a hole would skip architectural instructions if this path
         // is later promoted.
         let next = self.contexts[alt.index()].al.next_seq();
-        let mut buffer: VecDeque<AlEntry> = VecDeque::new();
+        // Entries are parked in the replay pool (slab handles, not clones);
+        // the deque itself is recycled through the scratch spares.
+        let mut buffer: VecDeque<crate::arena::Handle> =
+            self.scratch.spare_replay_queues.pop().unwrap_or_default();
+        debug_assert!(buffer.is_empty());
         let mut expected: Option<u64> = None;
         for seq in 0..next {
-            let Some(e) = self.contexts[alt.index()].al.at_seq(seq) else {
+            let Some(&e) = self.contexts[alt.index()].al.at_seq(seq) else {
                 break;
             };
             if expected.is_some_and(|pc| pc != e.pc) {
                 break;
             }
-            expected = Some(crate::frontend::entry_next_pc(e));
-            buffer.push_back(e.clone());
+            expected = Some(crate::frontend::entry_next_pc(&e));
+            buffer.push_back(self.replay_pool.insert(e));
         }
         // Token accounting: each entry's displaced mapping is owned by the
         // entry (released here, since these entries will never commit or be
@@ -308,11 +311,16 @@ impl Simulator {
             }
         }
         let keep_path = self.contexts[alt.index()].path;
-        let start_pc = buffer.front().map(|e| e.pc).unwrap_or(0);
+        let start_pc = buffer
+            .front()
+            .and_then(|&h| self.replay_pool.get(h))
+            .map(|e| e.pc)
+            .unwrap_or(0);
         // Fetch resumes exactly after the replayed (possibly truncated)
         // trace.
         let resume_pc = buffer
             .back()
+            .and_then(|&h| self.replay_pool.get(h))
             .map(crate::frontend::entry_next_pc)
             .unwrap_or(self.contexts[alt.index()].al_next_pc);
         // Reset as a fresh fork, then restore the path record and attach
@@ -327,7 +335,9 @@ impl Simulator {
         let stream_ghr = c.ghr;
         // Prime the GHR/RAS with the replayed trace (as stream creation
         // does) so fetch past the trace predicts with consistent state.
-        for e in &buffer {
+        for &h in &buffer {
+            let e = *self.replay_pool.get(h).expect("replay handle is live");
+            let c = &mut self.contexts[alt.index()];
             match e.inst.op {
                 multipath_isa::Opcode::Jsr => c.ras.push(e.pc + multipath_isa::INST_BYTES),
                 multipath_isa::Opcode::Ret => {
@@ -343,6 +353,7 @@ impl Simulator {
                 _ => {}
             }
         }
+        let c = &mut self.contexts[alt.index()];
         c.recycle_stream = Some(RecycleStream {
             source: StreamSource::Buffer(buffer),
             next_seq: 0,
@@ -378,11 +389,11 @@ impl Simulator {
         // Squash the old primary's wrong path (everything younger than the
         // branch); its retained tail becomes a primary-path merge source.
         self.squash_ctx_from(old_primary, branch_seq + 1);
+        self.drop_stream(old_primary);
         let cycle = self.cycle;
         {
             let c = &mut self.contexts[old_primary.index()];
             c.decode_pipe.clear();
-            c.recycle_stream = None;
             c.fetch_stopped = true;
             c.state = CtxState::Draining;
             c.last_used = cycle;
@@ -405,14 +416,12 @@ impl Simulator {
         // written-bit array. Mark them now, or other traces' entries that
         // read these registers would appear reusable with stale values.
         {
-            let members = self.group_of(alt).members.clone();
+            let span = self.group_span(alt);
             let al = &self.contexts[alt.index()].al;
-            let dests: Vec<multipath_isa::Reg> = (al.head_seq()..al.next_seq())
-                .filter_map(|s| al.at_seq(s).and_then(|e| e.dest))
-                .collect();
-            for d in dests {
-                self.written
-                    .set_row(d, members.iter().copied().filter(|&c| c != alt));
+            for s in al.head_seq()..al.next_seq() {
+                if let Some(d) = al.at_seq(s).and_then(|e| e.dest) {
+                    self.written.set_row(d, span.iter().filter(|&c| c != alt));
+                }
             }
         }
         let cyc = self.cycle;

@@ -70,11 +70,18 @@ impl Simulator {
         for i in 0..self.contexts.len() {
             let ctx = CtxId(i as u8);
             loop {
-                // Find the oldest unresolved control entry.
+                // Find the oldest unresolved control entry. Entries below
+                // the active list's resolve hint were already scanned past
+                // (resolved or branchless), so each cycle picks up where
+                // the previous scan stopped instead of rescanning the
+                // whole live window.
                 let mut found = None;
+                let mut scanned_to;
                 {
                     let al = &self.contexts[i].al;
-                    for seq in al.head_seq()..al.next_seq() {
+                    let start = al.resolve_scan_start();
+                    scanned_to = start;
+                    for seq in start..al.next_seq() {
                         let Some(e) = al.at_seq(seq) else { break };
                         if let Some(b) = &e.branch {
                             if !b.resolved {
@@ -82,8 +89,10 @@ impl Simulator {
                                 break;
                             }
                         }
+                        scanned_to = seq + 1;
                     }
                 }
+                self.contexts[i].al.set_resolve_hint(scanned_to);
                 match found {
                     Some((seq, true)) => {
                         self.resolve_branch(ctx, seq);
@@ -200,11 +209,11 @@ impl Simulator {
     /// remember the retained wrong path as a merge source, and refetch.
     pub(crate) fn recover_same_context(&mut self, ctx: CtxId, branch_seq: u64, redirect: u64) {
         self.squash_ctx_from(ctx, branch_seq + 1);
+        self.drop_stream(ctx);
         let recycle = self.config.features.recycle;
         let cycle = self.cycle;
         let c = &mut self.contexts[ctx.index()];
         c.decode_pipe.clear();
-        c.recycle_stream = None;
         c.log_fe(cycle, format!("recover -> {redirect:#x}"));
         c.fetch_pc = redirect;
         c.al_next_pc = redirect;
@@ -242,10 +251,10 @@ impl Simulator {
         match self.config.alt_policy {
             AltPolicy::Stop(_) => {
                 self.undispatch(alt);
+                self.drop_stream(alt);
                 let cycle = self.cycle;
                 let c = &mut self.contexts[alt.index()];
                 c.decode_pipe.clear();
-                c.recycle_stream = None;
                 c.fetch_stopped = true;
                 c.state = CtxState::Inactive;
                 c.last_used = cycle;
@@ -262,23 +271,19 @@ impl Simulator {
     /// squashing them: they stay in the trace as fetched-only entries.
     pub(crate) fn undispatch(&mut self, ctx: CtxId) {
         for fp in [false, true] {
-            let len = if fp {
-                self.iq_fp.len()
+            // Compact in place: other contexts' entries slide down in age
+            // order; every entry of `ctx` leaves the queue.
+            let mut q = std::mem::take(if fp {
+                &mut self.iq_fp
             } else {
-                self.iq_int.len()
-            };
-            for _ in 0..len {
-                let e = if fp {
-                    self.iq_fp.pop_front().expect("len checked")
-                } else {
-                    self.iq_int.pop_front().expect("len checked")
-                };
+                &mut self.iq_int
+            });
+            let mut kept = 0;
+            for i in 0..q.len() {
+                let e = q[i];
                 if e.ctx != ctx {
-                    if fp {
-                        self.iq_fp.push_back(e);
-                    } else {
-                        self.iq_int.push_back(e);
-                    }
+                    q[kept] = e;
+                    kept += 1;
                     continue;
                 }
                 // Only live, still-pending entries hold reader references;
@@ -308,6 +313,12 @@ impl Simulator {
                 if is_store {
                     self.contexts[ctx.index()].clear_pending_store(e.tag);
                 }
+            }
+            q.truncate(kept);
+            if fp {
+                self.iq_fp = q;
+            } else {
+                self.iq_int = q;
             }
         }
     }

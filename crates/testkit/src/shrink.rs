@@ -115,6 +115,7 @@ impl_shrink_tuple! {
     (A: 0, B: 1)
     (A: 0, B: 1, C: 2)
     (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
 }
 
 #[cfg(test)]

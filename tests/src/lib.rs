@@ -124,6 +124,35 @@ pub fn random_program(seed: u64, body_blocks: usize, outer: i16) -> Program {
     }
 }
 
+/// FNV-1a 64 digest of a committed-instruction log, order-sensitive.
+///
+/// Each committed `(pc, destination value)` pair feeds the hash: the pc,
+/// then a presence tag, then the value. The golden-trace suite stores one
+/// digest per kernel/configuration; any change to what commits, in what
+/// order, or with what result moves the digest.
+pub fn commit_digest(log: &[(u64, Option<u64>)]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |x: u64| {
+        for b in x.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    for &(pc, value) in log {
+        eat(pc);
+        match value {
+            Some(v) => {
+                eat(1);
+                eat(v);
+            }
+            None => eat(0),
+        }
+    }
+    h
+}
+
 /// Reads the final scratch segment (including the checksum slot).
 pub fn scratch_dump(memory: &multipath_mem::Memory) -> Vec<u64> {
     (0..SCRATCH_SLOTS as u64)
@@ -134,6 +163,23 @@ pub fn scratch_dump(memory: &multipath_mem::Memory) -> Vec<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn commit_digest_is_order_and_value_sensitive() {
+        let log_a = vec![(0x1000u64, Some(1u64)), (0x1004, None)];
+        let log_b = vec![(0x1004u64, None), (0x1000, Some(1u64))];
+        let log_c = vec![(0x1000u64, Some(2u64)), (0x1004, None)];
+        assert_ne!(commit_digest(&log_a), commit_digest(&log_b));
+        assert_ne!(commit_digest(&log_a), commit_digest(&log_c));
+        assert_eq!(commit_digest(&log_a), commit_digest(&log_a.clone()));
+    }
+
+    #[test]
+    fn commit_digest_distinguishes_none_from_zero() {
+        let none = vec![(0x1000u64, None)];
+        let zero = vec![(0x1000u64, Some(0u64))];
+        assert_ne!(commit_digest(&none), commit_digest(&zero));
+    }
 
     #[test]
     fn generated_programs_assemble_and_halt_on_reference() {

@@ -89,6 +89,41 @@ prop_test! {
         prop_assert_eq!(got, expected);
     }
 
+    /// Lockstep property with shrinking: the reference emulator is
+    /// attached to the pipeline, so *every committed instruction* is
+    /// checked for PC and value as the simulation runs — across random
+    /// programs, feature sets, and machine models. A divergence panics at
+    /// the exact retire, and the failing generator parameters shrink to a
+    /// minimal reproduction.
+    fn lockstep_commit_stream_matches_reference(
+        params in |rng: &mut TestRng| {
+            (
+                rng.below(50_000),
+                rng.len_in(2..7),
+                rng.in_irange(3..10) as i16,
+                rng.below(6) as usize,
+                rng.below(4) as usize,
+            )
+        },
+        cases = 10,
+    ) {
+        let (seed, blocks, outer, feat, machine) = params;
+        let features = Features::all_six()[feat];
+        let config = [
+            SimConfig::big_2_16(),
+            SimConfig::big_1_8(),
+            SimConfig::small_2_8(),
+            SimConfig::small_1_8(),
+        ][machine]
+        .clone()
+        .with_features(features);
+        let p = random_program(seed, blocks, outer);
+        let mut sim = Simulator::new(config, vec![p]);
+        sim.attach_reference(ProgId(0));
+        sim.run(u64::MAX, 3_000_000);
+        prop_assert!(sim.program_finished(ProgId(0)));
+    }
+
     /// Co-scheduled random programs are each architecturally identical to
     /// their stand-alone reference runs.
     fn random_pairs_are_isolated(

@@ -1,0 +1,154 @@
+//! Golden-trace regression suite: committed-instruction digests for every
+//! workload kernel under the quick budget, checked into
+//! `tests/golden/kernels_quick.txt`.
+//!
+//! The digests pin the simulator's *architectural* behaviour — which
+//! instructions commit, in what order, with what destination values — so
+//! any silent behaviour change (e.g. from a hot-path rewrite) fails loudly
+//! here even when end-state differential tests still pass.
+//!
+//! Regenerate after an *intentional* behaviour change with:
+//!
+//! ```text
+//! MP_UPDATE_GOLDEN=1 cargo test -p multipath-tests --test golden_trace
+//! ```
+
+use multipath_core::{Features, SimConfig, Simulator};
+use multipath_tests::commit_digest;
+use multipath_workload::{kernels, Benchmark};
+use std::fmt::Write as _;
+
+/// The quick budget (`Budget::quick()` in `multipath-bench`), restated
+/// here because the golden digests are only meaningful at this exact size.
+const COMMITS: u64 = 4_000;
+const MAX_CYCLES: u64 = 400_000;
+const SEED: u64 = 1;
+
+/// The configurations each kernel is pinned under: the plain superscalar
+/// datapath and the full recycling machine (both sides of every feature
+/// gate in the pipeline).
+fn golden_configs() -> [Features; 2] {
+    [Features::smt(), Features::rec_rs_ru()]
+}
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("golden")
+        .join("kernels_quick.txt")
+}
+
+/// Runs one kernel under one configuration and digests its commit log.
+fn run_one(bench: Benchmark, features: Features) -> (usize, u64) {
+    let program = kernels::build(bench, SEED);
+    let mut sim = Simulator::new(SimConfig::big_2_16().with_features(features), vec![program]);
+    sim.enable_commit_log();
+    sim.run(COMMITS, MAX_CYCLES);
+    let log = sim.commit_log().expect("enabled above");
+    (log.len(), commit_digest(log))
+}
+
+fn compute_all() -> Vec<(String, usize, u64)> {
+    let mut rows = Vec::new();
+    for bench in Benchmark::ALL {
+        for features in golden_configs() {
+            let (count, digest) = run_one(bench, features);
+            rows.push((
+                format!("{} {}", bench.name(), features.label()),
+                count,
+                digest,
+            ));
+        }
+    }
+    rows
+}
+
+fn render(rows: &[(String, usize, u64)]) -> String {
+    let mut out = String::from(
+        "# kernel config committed digest — regenerate with MP_UPDATE_GOLDEN=1 (see golden_trace.rs)\n",
+    );
+    for (key, count, digest) in rows {
+        let _ = writeln!(out, "{key} {count} {digest:016x}");
+    }
+    out
+}
+
+#[test]
+fn golden_traces_match_all_kernels() {
+    let rows = compute_all();
+    let rendered = render(&rows);
+    let path = golden_path();
+    if std::env::var("MP_UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, &rendered).expect("write golden file");
+        eprintln!("golden traces regenerated at {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "read {} ({e}); regenerate with MP_UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    for (line, (key, count, digest)) in golden
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
+        .zip(&rows)
+    {
+        let expect = format!("{key} {count} {digest:016x}");
+        assert_eq!(
+            line, expect,
+            "golden trace mismatch for `{key}`: the simulator's committed \
+             instruction stream changed (checked-in `{line}`, recomputed `{expect}`)"
+        );
+    }
+    assert_eq!(
+        golden
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
+            .count(),
+        rows.len(),
+        "golden file row count differs from computed sweep"
+    );
+}
+
+#[test]
+fn golden_file_covers_every_kernel_and_config() {
+    let golden = std::fs::read_to_string(golden_path()).expect("golden file checked in");
+    for bench in Benchmark::ALL {
+        for features in golden_configs() {
+            let key = format!("{} {} ", bench.name(), features.label());
+            assert!(
+                golden.lines().any(|l| l.starts_with(&key)),
+                "golden file missing row for `{key}`"
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_runs_commit_the_full_quick_budget() {
+    // The digests only pin behaviour if the runs actually reach the
+    // budget rather than stalling out at the cycle cap.
+    let (count, _) = run_one(Benchmark::Compress, Features::rec_rs_ru());
+    assert!(
+        count as u64 >= COMMITS,
+        "quick-budget run committed only {count} instructions"
+    );
+}
+
+#[test]
+fn commit_log_records_architectural_values() {
+    // The first committed instructions of the compress kernel must carry
+    // destination values (it starts with immediate loads), and the log
+    // must be exactly as long as the committed-instruction count.
+    let program = kernels::build(Benchmark::Compress, SEED);
+    let mut sim = Simulator::new(
+        SimConfig::big_2_16().with_features(Features::rec_rs_ru()),
+        vec![program],
+    );
+    sim.enable_commit_log();
+    sim.run(200, MAX_CYCLES);
+    let log = sim.commit_log().expect("enabled above");
+    assert_eq!(log.len() as u64, sim.stats().committed);
+    assert!(log.iter().any(|(_, v)| v.is_some()));
+}
