@@ -13,11 +13,23 @@
 //!   `worktree`).
 //! - `MP_HOTPATH_BASELINE` — `serial_cps,threads8_cps` reference numbers;
 //!   when set, the report includes them plus speedup ratios.
+//! - `MP_HOTPATH_MIN_RATIO` — minimum acceptable serial speedup vs the
+//!   baseline (e.g. `0.85`); when set alongside `MP_HOTPATH_BASELINE`,
+//!   the harness exits nonzero below it, turning the report into a gate.
+//!
+//! The harness also times the same serial sweep with the full
+//! observability stack enabled (ring + interval series + span recorder)
+//! and reports the overhead ratio against the probes-disabled build.
+//! The disabled side is the `NullSink` path every normal run takes, so
+//! this A/B keeps the "zero overhead when off, bounded overhead when on"
+//! property measurable on every CI run. Probes must observe without
+//! perturbing: the harness asserts the probed sweep simulates exactly
+//! the same cycles.
 //!
 //! The sweep itself always uses the quick budget so results are
 //! comparable across machines and PRs regardless of `MULTIPATH_BUDGET`.
 
-use multipath_bench::{figure3_cells, parallel, run_cell, Budget};
+use multipath_bench::{figure3_cells, parallel, run_cell, run_cell_probed, Budget};
 use multipath_testkit::BenchRunner;
 use std::fmt::Write as _;
 
@@ -66,6 +78,27 @@ fn main() {
         });
     }
 
+    // Probe-overhead A/B: the identical serial sweep with the full
+    // observability stack on. Observation must not perturb simulation.
+    let probed_sim_cycles: u64 = parallel::map_with(8, &cells, |c| run_cell_probed(c, &budget))
+        .iter()
+        .map(|s| s.cycles)
+        .sum();
+    assert_eq!(
+        probed_sim_cycles, total_sim_cycles,
+        "enabling probes changed simulated behaviour"
+    );
+    runner.bench("fig3-quick/probed-serial", || {
+        parallel::map_with(1, &cells, |c| run_cell_probed(c, &budget))
+    });
+    let probed_best_s = runner.results().last().expect("just benched").1[0].as_secs_f64();
+    let probed = Point {
+        threads: 1,
+        total_sim_cycles,
+        best_wall_s: probed_best_s,
+        median_wall_s: probed_best_s,
+    };
+
     for p in &points {
         println!(
             "threads={}: {:.0} sim cycles/sec (best of {} samples)",
@@ -74,8 +107,17 @@ fn main() {
             runner.results()[0].1.len()
         );
     }
+    let disabled_serial = points.iter().find(|p| p.threads == 1);
+    let overhead = disabled_serial.map(|s| s.best_wall_s / probed.best_wall_s);
+    if let Some(ratio) = overhead {
+        println!(
+            "probes enabled (serial): {:.0} sim cycles/sec ({:.2}x the disabled build's speed)",
+            probed.cycles_per_sec(),
+            ratio
+        );
+    }
 
-    let report = render_report(&budget, cells.len(), &points);
+    let report = render_report(&budget, cells.len(), &points, &probed, overhead);
     let out = std::env::var("MP_HOTPATH_OUT").unwrap_or_else(|_| "BENCH_hotpath.json".to_owned());
     std::fs::write(&out, &report).expect("write hotpath report");
     println!("wrote {out}");
@@ -84,7 +126,13 @@ fn main() {
 /// Renders the JSON report by hand — the workspace deliberately has no
 /// external crates, so there is no serde; the schema is documented in
 /// EXPERIMENTS.md and kept flat enough to diff by eye.
-fn render_report(budget: &Budget, cells: usize, points: &[Point]) -> String {
+fn render_report(
+    budget: &Budget,
+    cells: usize,
+    points: &[Point],
+    probed: &Point,
+    overhead: Option<f64>,
+) -> String {
     let label = std::env::var("MP_HOTPATH_LABEL").unwrap_or_else(|_| "worktree".to_owned());
     let baseline: Option<(f64, f64)> = std::env::var("MP_HOTPATH_BASELINE").ok().and_then(|s| {
         let (a, b) = s.split_once(',')?;
@@ -109,6 +157,16 @@ fn render_report(budget: &Budget, cells: usize, points: &[Point]) -> String {
         );
     }
     let _ = write!(out, "  ]");
+    let _ = write!(
+        out,
+        ",\n  \"probes_enabled\": {{ \"threads\": 1, \"best_wall_s\": {:.6}, \"cycles_per_sec\": {:.0}",
+        probed.best_wall_s,
+        probed.cycles_per_sec()
+    );
+    if let Some(ratio) = overhead {
+        let _ = write!(out, ", \"relative_speed\": {ratio:.3}");
+    }
+    let _ = write!(out, " }}");
     if let Some((base_serial, base_par)) = baseline {
         let serial = points.iter().find(|p| p.threads == 1);
         let par = points.iter().find(|p| p.threads != 1);
@@ -118,12 +176,25 @@ fn render_report(budget: &Budget, cells: usize, points: &[Point]) -> String {
             "\"cycles_per_sec_serial\": {base_serial:.0}, \"cycles_per_sec_parallel\": {base_par:.0} }}"
         );
         if let (Some(s), Some(p)) = (serial, par) {
+            let serial_speedup = s.cycles_per_sec() / base_serial;
             let _ = write!(
                 out,
-                ",\n  \"speedup\": {{ \"serial\": {:.3}, \"parallel\": {:.3} }}",
-                s.cycles_per_sec() / base_serial,
+                ",\n  \"speedup\": {{ \"serial\": {serial_speedup:.3}, \"parallel\": {:.3} }}",
                 p.cycles_per_sec() / base_par
             );
+            // Optional hard gate: fail the run if the probes-disabled
+            // (NullSink) build fell below the acceptable ratio of the
+            // reference numbers.
+            if let Some(min) = std::env::var("MP_HOTPATH_MIN_RATIO")
+                .ok()
+                .and_then(|v| v.parse::<f64>().ok())
+            {
+                assert!(
+                    serial_speedup >= min,
+                    "hot-path regression: serial speedup {serial_speedup:.3} \
+                     below MP_HOTPATH_MIN_RATIO={min}"
+                );
+            }
         }
     }
     out.push_str("\n}\n");

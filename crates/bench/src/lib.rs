@@ -104,6 +104,27 @@ pub fn run_cell(cell: &Cell, budget: &Budget) -> Stats {
     sim.stats().clone()
 }
 
+/// Runs one cell with the full observability stack enabled — interval
+/// time series, span recorder, and a bounded event ring — for the
+/// probe-overhead A/B in the `hotpath` harness. Probes observe without
+/// perturbing, so the returned statistics are bit-identical to
+/// [`run_cell`]'s (the harness asserts this).
+pub fn run_cell_probed(cell: &Cell, budget: &Budget) -> Stats {
+    use multipath_core::{EventFilter, ProbeConfig};
+    let programs = mix::programs(&cell.workload, cell.seed);
+    let mut sim = Simulator::new(cell.config.clone(), programs);
+    sim.enable_probes(ProbeConfig {
+        ring: Some(1024),
+        interval: Some(100),
+        spans: true,
+        filter: EventFilter::all(),
+    });
+    let total = budget.committed_per_program * cell.workload.len() as u64;
+    sim.run(total, budget.max_cycles);
+    sim.finish_probes();
+    sim.stats().clone()
+}
+
 /// The cell for `bench` running alone under `features` on the baseline
 /// machine.
 fn single_cell(bench: Benchmark, features: Features, budget: &Budget) -> Cell {

@@ -3,24 +3,35 @@
 //!
 //! ```text
 //! multipath run [OPTIONS] <BENCH>...       simulate one workload
+//! multipath trace [OPTIONS] <BENCH>...     run with probes: Perfetto + stats.json
 //! multipath compare [OPTIONS] <BENCH>...   all six configurations side by side
 //! multipath figures [FIG]...               regenerate paper figures (parallel sweep)
 //! multipath list                           list benchmarks, machines, policies
 //! multipath disasm <BENCH>                 disassemble a kernel
 //!
 //! Options:
-//!   --features <smt|tme|rec|rec-ru|rec-rs|rec-rs-ru>   (run only; default rec-rs-ru)
+//!   --features <smt|tme|rec|rec-ru|rec-rs|rec-rs-ru>   (run/trace; default rec-rs-ru)
 //!   --machine  <big.2.16|big.1.8|small.2.8|small.1.8>  (default big.2.16)
 //!   --policy   <stop-N|fetch-N|nostop-N>               (default stop-8)
 //!   --commits  <N>      committed instructions per program (default 30000)
 //!   --seed     <N>      workload seed (default 1)
+//!
+//! Trace options:
+//!   --interval <N>      time-series interval width in cycles (default 100)
+//!   --events <LIST>     comma-separated event filter (default all)
+//!   --out <PATH>        Perfetto/Chrome-trace output (default multipath-trace.json)
+//!   --stats-out <PATH>  stats.json output (default multipath-stats.json)
+//!   --timeline <N>      also print the text timeline of the last N cycles
+//!   --print-events <N>  dump the last N events as text
 //!
 //! `figures` takes any of fig3 fig4 fig5 fig6 table1 (default: all), and
 //! honours MULTIPATH_THREADS (worker count), MULTIPATH_BUDGET=quick
 //! (smoke-sized sweep), and MP_FORMAT=csv.
 //! ```
 
-use multipath_core::{AltPolicy, Features, SimConfig, Simulator, Stats};
+use multipath_core::{
+    stats_json, AltPolicy, EventFilter, Features, ProbeConfig, SimConfig, Simulator, Stats,
+};
 use multipath_workload::{kernels, mix, Benchmark};
 use std::process::ExitCode;
 
@@ -35,11 +46,14 @@ struct Options {
 
 fn usage() -> ExitCode {
     eprint!(
-        "usage:\n  multipath run [OPTIONS] <BENCH>...\n  multipath compare [OPTIONS] <BENCH>...\n  \
+        "usage:\n  multipath run [OPTIONS] <BENCH>...\n  multipath trace [OPTIONS] <BENCH>...\n  \
+         multipath compare [OPTIONS] <BENCH>...\n  \
          multipath figures [fig3|fig4|fig5|fig6|table1]...\n  \
          multipath list\n  multipath disasm <BENCH>\n\noptions:\n  --features smt|tme|rec|rec-ru|rec-rs|rec-rs-ru\n  \
          --machine big.2.16|big.1.8|small.2.8|small.1.8\n  --policy stop-N|fetch-N|nostop-N\n  \
-         --commits N   --seed N\n\nenvironment (figures):\n  \
+         --commits N   --seed N\n\ntrace options:\n  \
+         --interval N   --events LIST   --out PATH   --stats-out PATH\n  \
+         --timeline N   --print-events N\n\nenvironment (figures):\n  \
          MULTIPATH_THREADS=N   sweep worker count (default: all cores)\n  \
          MULTIPATH_BUDGET=quick   smoke-sized sweep\n  MP_FORMAT=csv   CSV output\n"
     );
@@ -164,6 +178,128 @@ fn cmd_run(args: &[String]) -> ExitCode {
         stats.cycles
     );
     print_stats(opts.features.label(), &stats);
+    ExitCode::SUCCESS
+}
+
+struct TraceOptions {
+    interval: u64,
+    filter: EventFilter,
+    out: String,
+    stats_out: String,
+    timeline: Option<u64>,
+    print_events: Option<usize>,
+}
+
+/// Splits the trace-specific flags off `args`, returning the remainder
+/// (which parses as ordinary run options).
+fn parse_trace_options(args: &[String]) -> Option<(TraceOptions, Vec<String>)> {
+    let mut topts = TraceOptions {
+        interval: 100,
+        filter: EventFilter::all(),
+        out: "multipath-trace.json".to_owned(),
+        stats_out: "multipath-stats.json".to_owned(),
+        timeline: None,
+        print_events: None,
+    };
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--interval" => topts.interval = it.next()?.parse().ok()?,
+            "--events" => match EventFilter::parse(it.next()?) {
+                Ok(f) => topts.filter = f,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return None;
+                }
+            },
+            "--out" => topts.out = it.next()?.clone(),
+            "--stats-out" => topts.stats_out = it.next()?.clone(),
+            "--timeline" => topts.timeline = Some(it.next()?.parse().ok()?),
+            "--print-events" => topts.print_events = Some(it.next()?.parse().ok()?),
+            _ => rest.push(arg.clone()),
+        }
+    }
+    Some((topts, rest))
+}
+
+fn cmd_trace(args: &[String]) -> ExitCode {
+    let Some((topts, rest)) = parse_trace_options(args) else {
+        return usage();
+    };
+    let Some(opts) = parse_options(&rest) else {
+        return usage();
+    };
+    let programs = mix::programs(&opts.benches, opts.seed);
+    let mut sim = Simulator::new(configure(&opts, opts.features), programs);
+    sim.enable_probes(ProbeConfig {
+        ring: topts.print_events.map(|n| n.max(1)),
+        interval: Some(topts.interval.max(1)),
+        spans: true,
+        filter: topts.filter,
+    });
+    sim.enable_host_profile();
+
+    let total = opts.commits * opts.benches.len() as u64;
+    sim.run(total, total.saturating_mul(100).max(1_000_000));
+
+    // The text timeline samples *after* the commit target: the machine is
+    // warmed up and still running (unless the programs halted).
+    let timeline = topts.timeline.map(|cycles| {
+        let samples = multipath_core::trace::sample_window(&mut sim, cycles);
+        let stride = (cycles / 48).max(1) as usize;
+        multipath_core::trace::render_timeline(&samples, stride)
+    });
+    sim.finish_probes();
+
+    let stats = sim.stats().clone();
+    let names: Vec<&str> = opts.benches.iter().map(|b| b.name()).collect();
+    let label = names.join("+");
+    println!(
+        "workload: {label} | {} committed in {} cycles",
+        stats.committed, stats.cycles
+    );
+    print_stats(opts.features.label(), &stats);
+    if let Some(prof) = sim.host_profile() {
+        print!("{}", prof.report(stats.ipc()));
+    }
+    if let Some(text) = timeline {
+        println!();
+        print!("{text}");
+    }
+
+    let probes = sim.take_probes().expect("probes were enabled");
+    if let Some(ring) = &probes.ring {
+        println!();
+        println!("last {} events ({} dropped):", ring.len(), ring.dropped);
+        for ev in ring.events() {
+            println!("{}", ev.render());
+        }
+    }
+    let doc = stats_json(
+        &label,
+        opts.features.label(),
+        &stats,
+        probes.interval.as_ref(),
+    );
+    if let Err(e) = std::fs::write(&topts.stats_out, doc) {
+        eprintln!("error: writing {}: {e}", topts.stats_out);
+        return ExitCode::FAILURE;
+    }
+    let trace = probes
+        .spans
+        .as_ref()
+        .expect("spans were enabled")
+        .chrome_trace_json(sim.config().contexts);
+    if let Err(e) = std::fs::write(&topts.out, trace) {
+        eprintln!("error: writing {}: {e}", topts.out);
+        return ExitCode::FAILURE;
+    }
+    println!();
+    println!(
+        "wrote {} and {} (open the trace at https://ui.perfetto.dev)",
+        topts.out, topts.stats_out
+    );
     ExitCode::SUCCESS
 }
 
@@ -294,6 +430,7 @@ fn main() -> ExitCode {
     match args.split_first() {
         Some((cmd, rest)) => match cmd.as_str() {
             "run" => cmd_run(rest),
+            "trace" => cmd_trace(rest),
             "compare" => cmd_compare(rest),
             "figures" => cmd_figures(rest),
             "list" => cmd_list(),

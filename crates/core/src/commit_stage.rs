@@ -143,6 +143,10 @@ impl Simulator {
         }
         self.stats.committed += 1;
         self.stats.committed_per_program[prog.index()] += 1;
+        if self.probing() {
+            let class = crate::probe::InstClass::of(op);
+            self.probe(ctx, snap.pc, crate::probe::EventKind::Commit { class });
+        }
         self.contexts[ctx.index()].last_used = self.cycle;
     }
 

@@ -133,6 +133,15 @@ impl Simulator {
             self.contexts[ctx.index()]
                 .log_fe(cyc, format!("fetch {fetched} [{pc0:#x}..) next {pc:#x}"));
         }
+        if fetched > 0 {
+            self.probe(
+                ctx,
+                pc0,
+                crate::probe::EventKind::Fetch {
+                    count: fetched as u32,
+                },
+            );
+        }
         self.contexts[ctx.index()].fetch_pc = pc;
         fetched
     }
@@ -406,6 +415,18 @@ impl Simulator {
             self.stats.back_merges += 1;
         } else if source != target && self.contexts[source.index()].path.live {
             self.contexts[source.index()].path.merges += 1;
+        }
+        if self.probing() {
+            let len = end - start_seq;
+            let kind = if back_merge {
+                crate::probe::EventKind::BackMerge { len }
+            } else {
+                crate::probe::EventKind::Merge {
+                    source: source.0,
+                    len,
+                }
+            };
+            self.probe(target, pc, kind);
         }
         self.contexts[source.index()].last_used = self.cycle;
         true

@@ -167,6 +167,10 @@ impl Simulator {
         if let Some(e) = self.contexts[ctx.index()].al.at_seq_mut(iq.seq) {
             e.state = EntryState::Issued;
         }
+        if self.probing() {
+            let class = crate::probe::InstClass::of(op);
+            self.probe(ctx, pc, crate::probe::EventKind::Issue { class });
+        }
         self.contexts[ctx.index()].in_flight += 1;
         self.events.push(Reverse(CompletionEvent {
             at: complete_at.max(self.cycle + 1),

@@ -61,6 +61,7 @@ pub mod ids;
 pub mod issue_stage;
 pub mod lsq;
 pub mod map;
+pub mod probe;
 pub mod regfile;
 pub mod rename_stage;
 pub mod reuse;
@@ -72,5 +73,9 @@ pub mod writeback;
 
 pub use config::{AltPolicy, Features, RecycledPrediction, SimConfig};
 pub use ids::{CtxId, InstTag, PhysReg, ProgId};
+pub use probe::{
+    stats_json, CtxView, Event, EventFilter, EventKind, InstClass, Interval, IntervalSink,
+    NullSink, ProbeConfig, ProbeSink, Probes, RefuseReason, RingSink, SpanRecorder, StageProfile,
+};
 pub use sim::{Group, ProgramInstance, Simulator};
 pub use stats::Stats;

@@ -476,6 +476,10 @@ impl Simulator {
         self.stats.renamed += 1;
         self.stats.recycled += 1;
         self.stats.reused += 1;
+        if self.probing() {
+            let class = crate::probe::InstClass::of(entry.inst.op);
+            self.probe(ctx, entry.pc, crate::probe::EventKind::Reuse { class });
+        }
         Ok(())
     }
 
@@ -538,6 +542,7 @@ impl Simulator {
                 Some(p) => Some(p),
                 None => {
                     self.stats.preg_stall_cycles += 1;
+                    self.probe(ctx, pc, crate::probe::EventKind::PregStall);
                     // Pressure valve: the primary thread must always be
                     // able to make progress, so spare contexts give their
                     // registers back rather than starve it (the paper's
@@ -707,6 +712,15 @@ impl Simulator {
         if recycled {
             self.stats.recycled += 1;
         }
+        if self.probing() {
+            let class = crate::probe::InstClass::of(op);
+            let kind = if recycled {
+                crate::probe::EventKind::Recycle { class }
+            } else {
+                crate::probe::EventKind::Rename { class }
+            };
+            self.probe(ctx, pc, kind);
+        }
 
         // TME fork decision.
         if op.operand_class() == OperandClass::CondBr {
@@ -762,6 +776,13 @@ impl Simulator {
         self.stats.fork_candidates += 1;
         if self.forks_this_cycle >= self.config.forks_per_cycle {
             self.stats.fork_refused_cap += 1;
+            self.probe(
+                ctx,
+                pc,
+                crate::probe::EventKind::ForkRefused {
+                    reason: crate::probe::RefuseReason::CycleCap,
+                },
+            );
             return;
         }
         let alt_pc = if pred.taken {
@@ -816,14 +837,29 @@ impl Simulator {
                         }
                     }
                     self.forks_this_cycle += 1;
+                    self.probe(ctx, pc, crate::probe::EventKind::Respawn { alt: c.0 });
                 } else {
                     self.stats.forks_suppressed += 1;
+                    self.probe(
+                        ctx,
+                        pc,
+                        crate::probe::EventKind::ForkRefused {
+                            reason: crate::probe::RefuseReason::DuplicatePath,
+                        },
+                    );
                 }
                 return;
             }
         }
         let Some(spare) = self.pick_spare(ctx) else {
             self.stats.fork_refused_nospare += 1;
+            self.probe(
+                ctx,
+                pc,
+                crate::probe::EventKind::ForkRefused {
+                    reason: crate::probe::RefuseReason::NoSpare,
+                },
+            );
             return;
         };
         self.fork_into(spare, ctx, tag, alt_pc, history);
@@ -833,5 +869,6 @@ impl Simulator {
             }
         }
         self.forks_this_cycle += 1;
+        self.probe(ctx, pc, crate::probe::EventKind::Fork { alt: spare.0 });
     }
 }

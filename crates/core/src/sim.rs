@@ -142,6 +142,11 @@ pub struct Simulator {
     /// Lock-step reference emulator: each commit of the given program is
     /// validated against it (testing aid).
     pub(crate) reference: Option<(ProgId, crate::emulator::Emulator)>,
+    /// Attached observability sinks (`None` in production runs: the hot
+    /// path pays one branch per probe site and nothing else).
+    pub(crate) probes: Option<Box<crate::probe::Probes>>,
+    /// Host-side per-stage wall-clock profile, when enabled.
+    pub(crate) host_prof: Option<Box<crate::probe::StageProfile>>,
 }
 
 impl Simulator {
@@ -254,6 +259,8 @@ impl Simulator {
             config,
             commit_log: None,
             reference: None,
+            probes: None,
+            host_prof: None,
         }
     }
 
@@ -275,8 +282,49 @@ impl Simulator {
         self.commit_log.as_deref()
     }
 
+    /// Attaches the observability sinks described by `config`. Until this
+    /// is called, every probe site is a single predictable branch.
+    pub fn enable_probes(&mut self, config: crate::probe::ProbeConfig) {
+        self.probes = Some(Box::new(crate::probe::Probes::new(config)));
+    }
+
+    /// Enables host-side per-stage wall-clock profiling.
+    pub fn enable_host_profile(&mut self) {
+        self.host_prof = Some(Box::default());
+    }
+
+    /// The attached probes, if any.
+    pub fn probes(&self) -> Option<&crate::probe::Probes> {
+        self.probes.as_deref()
+    }
+
+    /// Detaches and returns the probes (export after a run).
+    pub fn take_probes(&mut self) -> Option<Box<crate::probe::Probes>> {
+        self.probes.take()
+    }
+
+    /// The accumulated host stage profile, if enabled.
+    pub fn host_profile(&self) -> Option<&crate::probe::StageProfile> {
+        self.host_prof.as_deref()
+    }
+
+    /// Finalizes statistics and closes the probe sinks (trailing partial
+    /// interval, open Perfetto spans). Call once after the last `step`/
+    /// `run` and before exporting; idempotent.
+    pub fn finish_probes(&mut self) {
+        self.finalize_stats();
+        if let Some(mut probes) = self.probes.take() {
+            probes.finish(self.cycle, &self.stats);
+            self.probes = Some(probes);
+        }
+    }
+
     /// Advances the machine one cycle.
     pub fn step(&mut self) {
+        if self.host_prof.is_some() {
+            self.step_profiled();
+            return;
+        }
         self.forks_this_cycle = 0;
         self.commit_stage();
         self.writeback_stage();
@@ -289,6 +337,92 @@ impl Simulator {
         if self.cycle.is_multiple_of(4096) {
             self.regs.check_conservation();
         }
+        if self.probes.is_some() {
+            self.probe_cycle_end();
+        }
+    }
+
+    /// `step` with host wall-clock accumulation per stage. A separate
+    /// body so the unprofiled loop stays branch-free between stages.
+    fn step_profiled(&mut self) {
+        use std::time::Instant;
+        let mut prof = self.host_prof.take().expect("caller checked");
+        self.forks_this_cycle = 0;
+        let mut t = Instant::now();
+        let mut lap = |acc: &mut std::time::Duration| {
+            let now = Instant::now();
+            *acc += now - t;
+            t = now;
+        };
+        self.commit_stage();
+        lap(&mut prof.commit);
+        self.writeback_stage();
+        lap(&mut prof.writeback);
+        self.issue_stage();
+        lap(&mut prof.issue);
+        self.rename_stage();
+        lap(&mut prof.rename);
+        self.fetch_stage();
+        lap(&mut prof.fetch);
+        self.cycle += 1;
+        self.stats.cycles = self.cycle;
+        #[cfg(debug_assertions)]
+        if self.cycle.is_multiple_of(4096) {
+            self.regs.check_conservation();
+        }
+        if self.probes.is_some() {
+            self.probe_cycle_end();
+        }
+        lap(&mut prof.probes);
+        prof.steps += 1;
+        self.host_prof = Some(prof);
+    }
+
+    /// Feeds end-of-cycle state (cumulative stats + per-context views) to
+    /// the attached sinks.
+    fn probe_cycle_end(&mut self) {
+        let mut probes = self.probes.take().expect("caller checked");
+        probes.views.clear();
+        for c in &self.contexts {
+            probes.views.push(crate::probe::CtxView {
+                role: crate::trace::CtxStateKind::of(c.state),
+                live: c.al.live() as u32,
+                stream: c
+                    .recycle_stream
+                    .as_ref()
+                    .map(|s| s.remaining())
+                    .unwrap_or(0),
+            });
+        }
+        let views = std::mem::take(&mut probes.views);
+        crate::probe::ProbeSink::cycle_end(&mut *probes, self.cycle, &self.stats, &views);
+        probes.views = views;
+        self.probes = Some(probes);
+    }
+
+    /// Emits one pipeline event to the attached sinks. Cheap no-op when
+    /// probes are disabled; emission sites that compute event arguments
+    /// should guard on [`Simulator::probing`] first.
+    #[inline]
+    pub(crate) fn probe(&mut self, ctx: CtxId, pc: u64, kind: crate::probe::EventKind) {
+        if let Some(p) = self.probes.as_mut() {
+            crate::probe::ProbeSink::event(
+                &mut **p,
+                &crate::probe::Event {
+                    cycle: self.cycle,
+                    ctx: ctx.0,
+                    pc,
+                    kind,
+                },
+            );
+        }
+    }
+
+    /// Whether probes are attached (guard for emission sites whose event
+    /// arguments cost anything to compute).
+    #[inline]
+    pub(crate) fn probing(&self) -> bool {
+        self.probes.is_some()
     }
 
     /// Runs until `total_committed` instructions have committed across all

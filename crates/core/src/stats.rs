@@ -68,6 +68,59 @@ pub struct Stats {
     pub mispredicts_recycled: u64,
 }
 
+/// Generates the fixed counter vector: `NUM_COUNTERS`, `COUNTER_NAMES`,
+/// and `counters()` stay in lockstep with the field list by construction,
+/// so the stats.json schema and the interval time series can never drift
+/// from the struct.
+macro_rules! counter_vector {
+    ($($field:ident),* $(,)?) => {
+        impl Stats {
+            /// Number of scalar counters in [`Stats::counters`].
+            pub const NUM_COUNTERS: usize = [$(stringify!($field)),*].len();
+
+            /// Counter names, index-aligned with [`Stats::counters`].
+            pub const COUNTER_NAMES: [&'static str; Stats::NUM_COUNTERS] =
+                [$(stringify!($field)),*];
+
+            /// Every scalar counter as a fixed-order vector — the unit of
+            /// the interval time series and the stats-drift gate.
+            pub fn counters(&self) -> [u64; Stats::NUM_COUNTERS] {
+                [$(self.$field),*]
+            }
+        }
+    };
+}
+
+counter_vector!(
+    cycles,
+    committed,
+    renamed,
+    recycled,
+    reused,
+    fetched,
+    squashed,
+    branches,
+    mispredicts,
+    mispredicts_covered,
+    forks,
+    forks_used_tme,
+    forks_recycled,
+    forks_respawned,
+    respawns,
+    merges,
+    back_merges,
+    alt_path_merge_sum,
+    recoveries,
+    preg_stall_cycles,
+    forks_suppressed,
+    forks_stolen,
+    fork_refused_cap,
+    fork_refused_nospare,
+    fork_candidates,
+    branches_recycled,
+    mispredicts_recycled,
+);
+
 impl Stats {
     /// Creates zeroed statistics for `programs` programs.
     pub fn new(programs: usize) -> Stats {
@@ -187,6 +240,23 @@ mod tests {
         assert!((s.merges_per_alt_path() - 22.0 / 13.0).abs() < 1e-9);
         assert!((s.pct_back_merges() - 44.0).abs() < 1e-9);
         assert!((s.branch_accuracy() - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counter_vector_is_aligned_with_names() {
+        let mut s = Stats::new(1);
+        s.cycles = 7;
+        s.mispredicts_recycled = 9;
+        let v = s.counters();
+        assert_eq!(v.len(), Stats::NUM_COUNTERS);
+        assert_eq!(Stats::COUNTER_NAMES.len(), Stats::NUM_COUNTERS);
+        assert_eq!(Stats::COUNTER_NAMES[0], "cycles");
+        assert_eq!(v[0], 7);
+        assert_eq!(
+            *Stats::COUNTER_NAMES.last().unwrap(),
+            "mispredicts_recycled"
+        );
+        assert_eq!(*v.last().unwrap(), 9);
     }
 
     #[test]

@@ -18,6 +18,20 @@ impl Simulator {
     pub(crate) fn squash_ctx_from(&mut self, ctx: CtxId, from_seq: u64) -> usize {
         let seqs = self.contexts[ctx.index()].al.squash_from(from_seq);
         let count = seqs.end.saturating_sub(seqs.start) as usize;
+        if count > 0 && self.probing() {
+            let pc = self.contexts[ctx.index()]
+                .al
+                .at_seq(seqs.start)
+                .map(|e| e.pc)
+                .unwrap_or(0);
+            self.probe(
+                ctx,
+                pc,
+                crate::probe::EventKind::Squash {
+                    count: count as u64,
+                },
+            );
+        }
         // Youngest first: recovery must unwind the map in reverse rename
         // order so each restored `old_preg` lands before it is re-displaced.
         for seq in seqs.rev() {

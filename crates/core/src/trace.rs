@@ -47,6 +47,57 @@ pub enum CtxStateKind {
 }
 
 impl CtxStateKind {
+    /// Number of roles (the width of role-occupancy histograms).
+    pub const COUNT: usize = 6;
+
+    /// All roles, index-aligned with [`CtxStateKind::index`].
+    pub const ALL: [CtxStateKind; CtxStateKind::COUNT] = [
+        CtxStateKind::Idle,
+        CtxStateKind::Primary,
+        CtxStateKind::Alternate,
+        CtxStateKind::AlternateResolved,
+        CtxStateKind::Draining,
+        CtxStateKind::Inactive,
+    ];
+
+    /// Classifies a full [`CtxState`] into its display role.
+    pub fn of(state: CtxState) -> CtxStateKind {
+        match state {
+            CtxState::Idle => CtxStateKind::Idle,
+            CtxState::Primary => CtxStateKind::Primary,
+            CtxState::Alternate {
+                resolved: false, ..
+            } => CtxStateKind::Alternate,
+            CtxState::Alternate { resolved: true, .. } => CtxStateKind::AlternateResolved,
+            CtxState::Draining => CtxStateKind::Draining,
+            CtxState::Inactive => CtxStateKind::Inactive,
+        }
+    }
+
+    /// Dense index into role-occupancy histograms.
+    pub fn index(self) -> usize {
+        match self {
+            CtxStateKind::Idle => 0,
+            CtxStateKind::Primary => 1,
+            CtxStateKind::Alternate => 2,
+            CtxStateKind::AlternateResolved => 3,
+            CtxStateKind::Draining => 4,
+            CtxStateKind::Inactive => 5,
+        }
+    }
+
+    /// Human-readable role name (stats.json / Perfetto track labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            CtxStateKind::Idle => "idle",
+            CtxStateKind::Primary => "primary",
+            CtxStateKind::Alternate => "alternate",
+            CtxStateKind::AlternateResolved => "alternate_resolved",
+            CtxStateKind::Draining => "draining",
+            CtxStateKind::Inactive => "inactive",
+        }
+    }
+
     /// One-character display form.
     pub fn glyph(self) -> char {
         match self {
@@ -87,16 +138,7 @@ pub fn sample_window(sim: &mut Simulator, cycles: u64) -> Vec<CycleSample> {
         let contexts = sim
             .context_views()
             .map(|(state, live, stream)| CtxSample {
-                state: match state {
-                    CtxState::Idle => CtxStateKind::Idle,
-                    CtxState::Primary => CtxStateKind::Primary,
-                    CtxState::Alternate {
-                        resolved: false, ..
-                    } => CtxStateKind::Alternate,
-                    CtxState::Alternate { resolved: true, .. } => CtxStateKind::AlternateResolved,
-                    CtxState::Draining => CtxStateKind::Draining,
-                    CtxState::Inactive => CtxStateKind::Inactive,
-                },
+                state: CtxStateKind::of(state),
                 live,
                 stream,
             })
@@ -177,6 +219,17 @@ mod tests {
         let text = render_timeline(&samples, 8);
         assert!(text.contains("ctx0"));
         assert!(text.lines().count() >= 8);
+    }
+
+    #[test]
+    fn role_indices_are_dense_and_aligned() {
+        for (i, role) in CtxStateKind::ALL.iter().enumerate() {
+            assert_eq!(role.index(), i);
+        }
+        let mut names: Vec<&str> = CtxStateKind::ALL.iter().map(|r| r.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), CtxStateKind::COUNT);
     }
 
     #[test]

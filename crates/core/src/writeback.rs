@@ -179,6 +179,17 @@ impl Simulator {
             )
         });
 
+        if self.probing() && matches!(class, OperandClass::CondBr | OperandClass::Jump) {
+            self.probe(
+                ctx,
+                pc,
+                crate::probe::EventKind::Resolve {
+                    mispredicted,
+                    covered: mispredicted && alt.is_some(),
+                },
+            );
+        }
+
         if !mispredicted {
             if let Some(a) = alt {
                 self.alternate_resolved_correct(a);

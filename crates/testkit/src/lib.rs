@@ -10,7 +10,9 @@
 //! - [`prop_test!`]: a property-test macro running N random cases with
 //!   shrink-by-halving on failure (replacing `proptest`),
 //! - [`BenchRunner`]: a wall-clock micro-bench runner (replacing
-//!   `criterion`).
+//!   `criterion`),
+//! - [`Json`]: a minimal JSON parser for round-tripping the workspace's
+//!   hand-rendered reports and traces (replacing `serde_json`).
 //!
 //! # Examples
 //!
@@ -23,10 +25,12 @@
 //! ```
 
 pub mod bench;
+pub mod json;
 pub mod prop;
 pub mod rng;
 pub mod shrink;
 
 pub use bench::BenchRunner;
+pub use json::Json;
 pub use rng::{mix64, SplitMix64, TestRng};
 pub use shrink::Shrink;

@@ -1,0 +1,225 @@
+//! Stats-invariant property suite: structural relations between the
+//! pipeline counters that must hold for *every* workload, configuration,
+//! and seed — plus the interval time-series reconstruction guarantee the
+//! observability layer is built on.
+//!
+//! The aggregate `Stats` block is the repo's primary scientific output;
+//! these tests pin the arithmetic relationships between its counters so a
+//! pipeline change that, say, starts double-counting recycled
+//! instructions fails here rather than silently skewing every figure.
+
+use multipath_core::{Features, ProbeConfig, SimConfig, Simulator, Stats};
+use multipath_testkit::{prop_assert, prop_test, TestRng};
+use multipath_workload::{kernels, Benchmark};
+
+/// Feature configurations spanning every gate in the pipeline.
+fn all_features() -> [Features; 6] {
+    [
+        Features::smt(),
+        Features::tme(),
+        Features::rec(),
+        Features::rec_ru(),
+        Features::rec_rs(),
+        Features::rec_rs_ru(),
+    ]
+}
+
+fn run(bench: Benchmark, features: Features, seed: u64, commits: u64) -> Simulator {
+    let program = kernels::build(bench, seed);
+    let mut sim = Simulator::new(SimConfig::big_2_16().with_features(features), vec![program]);
+    sim.run(commits, commits * 200);
+    sim
+}
+
+/// Checks every cross-counter invariant on one finished run.
+fn check_invariants(stats: &Stats, label: &str) {
+    // Reuse is a subset of recycling, which is a subset of renaming.
+    assert!(
+        stats.reused <= stats.recycled && stats.recycled <= stats.renamed,
+        "{label}: reuse/recycle/rename hierarchy violated: \
+         reused={} recycled={} renamed={}",
+        stats.reused,
+        stats.recycled,
+        stats.renamed
+    );
+    // Every renamed instruction either commits, is squashed, or is still
+    // in flight when the run stops — never more than one of these.
+    assert!(
+        stats.committed + stats.squashed <= stats.renamed,
+        "{label}: committed={} + squashed={} exceeds renamed={}",
+        stats.committed,
+        stats.squashed,
+        stats.renamed
+    );
+    // A covered misprediction is still a misprediction; `mispredicts`
+    // counts conditional-branch *and* jump-target misses, but resolved
+    // conditional branches dominate, so the total stays bounded by the
+    // branch count plus the (rare) jump misses folded into recoveries.
+    assert!(
+        stats.mispredicts_covered <= stats.mispredicts,
+        "{label}: covered={} exceeds mispredicts={}",
+        stats.mispredicts_covered,
+        stats.mispredicts
+    );
+    assert!(
+        stats.mispredicts <= stats.branches,
+        "{label}: mispredicts={} exceeds resolved branches={}",
+        stats.mispredicts,
+        stats.branches
+    );
+    // Every covered misprediction swaps or recovers, never both.
+    assert!(
+        stats.mispredicts_covered + stats.recoveries <= stats.mispredicts,
+        "{label}: covered={} + recoveries={} exceeds mispredicts={}",
+        stats.mispredicts_covered,
+        stats.recoveries,
+        stats.mispredicts
+    );
+    // Back-merges are one kind of merge.
+    assert!(
+        stats.back_merges <= stats.merges,
+        "{label}: back_merges={} exceeds merges={}",
+        stats.back_merges,
+        stats.merges
+    );
+    // Recycled-instruction sub-counters never exceed their parents.
+    assert!(
+        stats.branches_recycled <= stats.branches,
+        "{label}: branches_recycled={} exceeds branches={}",
+        stats.branches_recycled,
+        stats.branches
+    );
+    assert!(
+        stats.mispredicts_recycled <= stats.mispredicts,
+        "{label}: mispredicts_recycled={} exceeds mispredicts={}",
+        stats.mispredicts_recycled,
+        stats.mispredicts
+    );
+    // Fork accounting: every taken fork came from a candidate, and the
+    // refusal reasons only fire when candidates were considered.
+    assert!(
+        stats.forks <= stats.fork_candidates,
+        "{label}: forks={} exceeds fork_candidates={}",
+        stats.forks,
+        stats.fork_candidates
+    );
+    assert!(
+        stats.forks_used_tme + stats.forks_recycled <= stats.forks,
+        "{label}: fork source split exceeds total forks"
+    );
+    // Nothing fetches, renames, or commits without burning cycles.
+    if stats.committed > 0 {
+        assert!(stats.cycles > 0, "{label}: committed work in zero cycles");
+    }
+}
+
+#[test]
+fn counter_invariants_hold_for_every_kernel_and_config() {
+    for bench in Benchmark::ALL {
+        for features in all_features() {
+            let sim = run(bench, features, 1, 2_000);
+            let label = format!("{} {}", bench.name(), features.label());
+            check_invariants(sim.stats(), &label);
+        }
+    }
+}
+
+prop_test! {
+    /// The invariants are not artefacts of seed 1: they hold across random
+    /// seeds, kernels, and commit budgets.
+    fn counter_invariants_hold_under_random_runs(
+        case in |rng: &mut TestRng| {
+            (rng.below(8), rng.below(3), rng.below(1 << 20), 300 + rng.below(900))
+        },
+        cases = 24
+    ) {
+        let (bench_ix, feat_ix, seed, commits) = case;
+        let bench = Benchmark::ALL[bench_ix as usize];
+        let features =
+            [Features::smt(), Features::tme(), Features::rec_rs_ru()][feat_ix as usize];
+        let sim = run(bench, features, seed, commits);
+        let label = format!("{} {} seed={seed}", bench.name(), features.label());
+        check_invariants(sim.stats(), &label);
+        prop_assert!(sim.stats().committed > 0, "{label}: nothing committed");
+    }
+}
+
+prop_test! {
+    /// Interval time series are lossless: for any interval width, the
+    /// per-interval counter deltas sum back to the final aggregate Stats
+    /// vector exactly — including counters bumped by post-run finalization.
+    fn interval_series_reconstructs_final_stats(
+        case in |rng: &mut TestRng| {
+            (rng.below(8), rng.below(4), 1 + rng.below(1000))
+        },
+        cases = 12
+    ) {
+        let (bench_ix, width_ix, seed) = case;
+        let bench = Benchmark::ALL[bench_ix as usize];
+        // Widths from pathological (1 cycle) to wider than the run.
+        let width: u64 = [1, 7, 100, 1 << 30][width_ix as usize];
+        let program = kernels::build(bench, seed);
+        let mut sim = Simulator::new(
+            SimConfig::big_2_16().with_features(Features::rec_rs_ru()),
+            vec![program],
+        );
+        sim.enable_probes(ProbeConfig {
+            interval: Some(width),
+            ..ProbeConfig::default()
+        });
+        sim.run(800, 80_000);
+        sim.finish_probes();
+        let probes = sim.take_probes().expect("probes enabled");
+        let series = probes.interval.as_ref().expect("interval sink on");
+        let sums = series.counter_sums();
+        let finals = sim.stats().counters();
+        for (i, (s, f)) in sums.iter().zip(finals.iter()).enumerate() {
+            prop_assert!(
+                s == f,
+                "{} width={width}: counter `{}` sums to {s}, final is {f}",
+                bench.name(),
+                Stats::COUNTER_NAMES[i]
+            );
+        }
+        // Interval boundaries tile the run with no gaps. Only the trailing
+        // interval may be zero-width: it holds counters bumped by post-run
+        // finalization after the last cycle boundary.
+        let mut prev_end = None;
+        let n = series.intervals().len();
+        for (i, iv) in series.intervals().iter().enumerate() {
+            if i + 1 < n {
+                prop_assert!(iv.start_cycle < iv.end_cycle, "empty interior interval");
+            } else {
+                prop_assert!(iv.start_cycle <= iv.end_cycle, "interval runs backwards");
+            }
+            if let Some(p) = prev_end {
+                prop_assert!(iv.start_cycle == p, "gap between intervals");
+            }
+            prev_end = Some(iv.end_cycle);
+        }
+    }
+}
+
+#[test]
+fn role_occupancy_accounts_for_every_context_cycle() {
+    // Each cycle contributes exactly `contexts` role samples, so the role
+    // histogram summed over all intervals equals cycles x contexts.
+    let program = kernels::build(Benchmark::Go, 1);
+    let config = SimConfig::big_2_16().with_features(Features::rec_rs_ru());
+    let contexts = config.contexts as u64;
+    let mut sim = Simulator::new(config, vec![program]);
+    sim.enable_probes(ProbeConfig {
+        interval: Some(64),
+        ..ProbeConfig::default()
+    });
+    sim.run(1_500, 150_000);
+    sim.finish_probes();
+    let probes = sim.take_probes().expect("probes enabled");
+    let series = probes.interval.as_ref().expect("interval sink on");
+    let role_total: u64 = series
+        .intervals()
+        .iter()
+        .flat_map(|iv| iv.role_cycles.iter())
+        .sum();
+    assert_eq!(role_total, sim.stats().cycles * contexts);
+}
