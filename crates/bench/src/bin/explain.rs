@@ -1,0 +1,15 @@
+//! Regenerates the reuse/recycle attribution table (the harness-side
+//! companion to `multipath explain`) for all eight kernels under
+//! REC/RS/RU. Budget via MULTIPATH_BUDGET=quick or MP_BENCH_COMMITS;
+//! MP_FORMAT=csv for CSV. Runs serially, so output is independent of
+//! MULTIPATH_THREADS by construction.
+
+fn main() {
+    let budget = multipath_bench::Budget::from_env();
+    let rows = multipath_bench::explain_rows(&budget);
+    if multipath_bench::csv_requested() {
+        print!("{}", multipath_bench::render_explain_csv(&rows));
+    } else {
+        print!("{}", multipath_bench::render_explain(&rows));
+    }
+}

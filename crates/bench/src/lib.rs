@@ -117,12 +117,47 @@ pub fn run_cell_probed(cell: &Cell, budget: &Budget) -> Stats {
         ring: Some(1024),
         interval: Some(100),
         spans: true,
+        explain: true,
         filter: EventFilter::all(),
     });
     let total = budget.committed_per_program * cell.workload.len() as u64;
     sim.run(total, budget.max_cycles);
     sim.finish_probes();
     sim.stats().clone()
+}
+
+/// Runs one cell with only the explain sinks (attribution + path tree)
+/// enabled and returns them alongside the statistics. Serial by design:
+/// the sinks carry per-run state that the parallel engine's `Stats`-only
+/// aggregation cannot transport.
+pub fn run_cell_explained(
+    cell: &Cell,
+    budget: &Budget,
+) -> (
+    Stats,
+    multipath_core::AttributionSink,
+    multipath_core::PathTreeSink,
+) {
+    use multipath_core::{EventFilter, ProbeConfig};
+    let programs = mix::programs(&cell.workload, cell.seed);
+    let mut sim = Simulator::new(cell.config.clone(), programs);
+    sim.enable_probes(ProbeConfig {
+        ring: None,
+        interval: None,
+        spans: false,
+        explain: true,
+        filter: EventFilter::all(),
+    });
+    let total = budget.committed_per_program * cell.workload.len() as u64;
+    sim.run(total, budget.max_cycles);
+    sim.finish_probes();
+    let stats = sim.stats().clone();
+    let probes = sim.take_probes().expect("probes enabled");
+    (
+        stats,
+        probes.attribution.expect("attribution sink on"),
+        probes.tree.expect("path-tree sink on"),
+    )
 }
 
 /// The cell for `bench` running alone under `features` on the baseline
@@ -585,6 +620,124 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
 }
 
 // ---------------------------------------------------------------------
+// Explain: reuse/recycle attribution alongside the figures.
+// ---------------------------------------------------------------------
+
+/// One explain row: why recycled instructions were (not) reused for one
+/// kernel under REC/RS/RU, plus the fork-refusal total — the harness-side
+/// companion to `multipath explain`.
+#[derive(Debug, Clone)]
+pub struct ExplainRow {
+    /// The benchmark.
+    pub bench: Benchmark,
+    /// Instructions renamed via the recycle datapath.
+    pub recycled: u64,
+    /// ... of which reused (no re-execution).
+    pub reused: u64,
+    /// Reuse denials by cause, in [`multipath_core::ReuseDeny::ALL`]
+    /// order; sums to `recycled - reused`.
+    pub denied: [u64; multipath_core::ReuseDeny::COUNT],
+    /// Fork refusals across all causes.
+    pub fork_refused: u64,
+}
+
+impl ExplainRow {
+    /// Reuse yield: % of recycled instructions whose results were reused.
+    pub fn yield_pct(&self) -> f64 {
+        if self.recycled == 0 {
+            0.0
+        } else {
+            100.0 * self.reused as f64 / self.recycled as f64
+        }
+    }
+}
+
+/// Runs the explain attribution for every kernel under REC/RS/RU. Serial
+/// (see [`run_cell_explained`]); with the quick budget this is the cost
+/// of one extra Table 1 column pass.
+pub fn explain_rows(budget: &Budget) -> Vec<ExplainRow> {
+    Benchmark::ALL
+        .into_iter()
+        .map(|bench| {
+            let cell = single_cell(bench, Features::rec_rs_ru(), budget);
+            let (stats, attr, _tree) = run_cell_explained(&cell, budget);
+            ExplainRow {
+                bench,
+                recycled: stats.recycled,
+                reused: stats.reused,
+                denied: attr.reuse_denied,
+                fork_refused: stats.fork_refused(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the explain attribution as an aligned text table.
+pub fn render_explain(rows: &[ExplainRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:10} {:>9} {:>8} {:>7}",
+        "bench", "recycled", "reused", "yield%"
+    ));
+    for cause in multipath_core::ReuseDeny::ALL {
+        out.push_str(&format!(" {:>12}", short_cause(cause.name())));
+    }
+    out.push_str(&format!(" {:>8}\n", "refused"));
+    for r in rows {
+        out.push_str(&format!(
+            "{:10} {:>9} {:>8} {:>7.1}",
+            r.bench.name(),
+            r.recycled,
+            r.reused,
+            r.yield_pct()
+        ));
+        for v in r.denied {
+            out.push_str(&format!(" {v:>12}"));
+        }
+        out.push_str(&format!(" {:>8}\n", r.fork_refused));
+    }
+    out
+}
+
+/// Abbreviates a `ReuseDeny` name so the text table stays narrow.
+fn short_cause(name: &str) -> &str {
+    match name {
+        "reuse_disabled" => "disabled",
+        "not_executed" => "not_exec",
+        "chained_reuse" => "chained",
+        "no_result" => "no_result",
+        "regs_released" => "released",
+        "source_overwritten" => "overwritten",
+        "mem_invalidated" => "mem_inval",
+        other => other,
+    }
+}
+
+/// Explain attribution as CSV, cause columns in `ReuseDeny::ALL` order.
+pub fn render_explain_csv(rows: &[ExplainRow]) -> String {
+    let mut out = String::from("bench,recycled,reused,yield_pct");
+    for cause in multipath_core::ReuseDeny::ALL {
+        out.push(',');
+        out.push_str(cause.name());
+    }
+    out.push_str(",fork_refused\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{:.2}",
+            r.bench.name(),
+            r.recycled,
+            r.reused,
+            r.yield_pct()
+        ));
+        for v in r.denied {
+            out.push_str(&format!(",{v}"));
+        }
+        out.push_str(&format!(",{}\n", r.fork_refused));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
 // CSV rendering (for plotting): set MP_FORMAT=csv on any figure binary.
 // ---------------------------------------------------------------------
 
@@ -694,6 +847,28 @@ mod tests {
         let text = render_figure3(&rows);
         assert!(text.contains("compress"));
         assert!(text.contains("average"));
+    }
+
+    #[test]
+    fn quick_explain_rows_reconcile() {
+        let mut budget = Budget::quick();
+        budget.committed_per_program = 2_000;
+        let rows = explain_rows(&budget);
+        assert_eq!(rows.len(), 8);
+        for r in &rows {
+            let denied: u64 = r.denied.iter().sum();
+            assert_eq!(
+                denied,
+                r.recycled - r.reused,
+                "{}: denial taxonomy must cover every non-reused recycle",
+                r.bench
+            );
+        }
+        let text = render_explain(&rows);
+        assert!(text.contains("compress"));
+        assert!(text.contains("yield%"));
+        let csv = render_explain_csv(&rows);
+        assert!(csv.starts_with("bench,recycled,reused,yield_pct,reuse_disabled"));
     }
 
     #[test]

@@ -68,9 +68,20 @@ impl ConfidenceEstimator {
         }
     }
 
+    /// The raw ones-counter for the branch at `pc` under `history` — the
+    /// per-branch telemetry behind `is_confident` (read-only).
+    pub fn level(&self, pc: u64, history: u64) -> u8 {
+        self.table[self.index(pc, history)]
+    }
+
     /// The confidence threshold.
     pub fn threshold(&self) -> u8 {
         self.threshold
+    }
+
+    /// The saturation ceiling.
+    pub fn max_level(&self) -> u8 {
+        self.max
     }
 }
 

@@ -213,6 +213,18 @@ impl BranchPredictor {
     pub fn update_target(&mut self, pc: u64, target: u64) {
         self.btb.update(pc, target);
     }
+
+    /// The raw JRS ones-counter for the branch at `pc` under `history` —
+    /// per-branch confidence telemetry for the explain layer (read-only;
+    /// compare against [`BranchPredictor::confidence_threshold`]).
+    pub fn confidence_level(&self, pc: u64, history: u64) -> u8 {
+        self.confidence.level(pc, history)
+    }
+
+    /// The confidence threshold the fork decision uses.
+    pub fn confidence_threshold(&self) -> u8 {
+        self.confidence.threshold()
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,137 @@
+//! Dedicated suite for the JRS resetting ones-counter confidence
+//! estimator: saturation, reset-on-mispredict, threshold edge cases, and
+//! a model-based property test that drives a table entry with a random
+//! correct/incorrect stream and checks it against the two-line reference
+//! model from the MICRO-29 paper.
+
+use multipath_branch::ConfidenceEstimator;
+use multipath_testkit::{prop_assert, prop_test, TestRng};
+
+#[test]
+fn counter_saturates_at_max_and_stays_there() {
+    let mut c = ConfidenceEstimator::new(64, 15, 12);
+    for i in 0..200 {
+        c.update(0x40, 0, true);
+        assert!(
+            c.level(0x40, 0) <= c.max_level(),
+            "level exceeded ceiling after {i} updates"
+        );
+    }
+    assert_eq!(c.level(0x40, 0), c.max_level());
+    // One more correct update must not wrap or move it.
+    c.update(0x40, 0, true);
+    assert_eq!(c.level(0x40, 0), c.max_level());
+}
+
+#[test]
+fn mispredict_resets_to_zero_from_any_level() {
+    for streak in 0..=15u32 {
+        let mut c = ConfidenceEstimator::new(64, 15, 12);
+        for _ in 0..streak {
+            c.update(0x80, 0, true);
+        }
+        c.update(0x80, 0, false);
+        assert_eq!(
+            c.level(0x80, 0),
+            0,
+            "reset from streak {streak} left a nonzero counter"
+        );
+        assert!(!c.is_confident(0x80, 0));
+    }
+}
+
+#[test]
+fn confidence_flips_exactly_at_the_threshold() {
+    let threshold = 12u8;
+    let mut c = ConfidenceEstimator::new(64, 15, threshold);
+    for i in 1..=15u8 {
+        c.update(0xc0, 0, true);
+        assert_eq!(c.level(0xc0, 0), i.min(15));
+        assert_eq!(
+            c.is_confident(0xc0, 0),
+            i >= threshold,
+            "confidence wrong at level {i} (threshold {threshold})"
+        );
+    }
+}
+
+#[test]
+fn threshold_equal_to_max_requires_full_saturation() {
+    let mut c = ConfidenceEstimator::new(64, 7, 7);
+    for _ in 0..6 {
+        c.update(0x10, 0, true);
+    }
+    assert!(!c.is_confident(0x10, 0));
+    c.update(0x10, 0, true);
+    assert!(c.is_confident(0x10, 0));
+}
+
+#[test]
+fn threshold_one_is_confident_after_a_single_hit() {
+    let mut c = ConfidenceEstimator::new(64, 15, 1);
+    assert!(!c.is_confident(0x20, 0));
+    c.update(0x20, 0, true);
+    assert!(c.is_confident(0x20, 0));
+}
+
+prop_test! {
+    /// Model check: after any correct/incorrect stream, the counter
+    /// equals `min(max, length of the trailing correct streak)` — the
+    /// definition of a resetting ones counter — and confidence is
+    /// exactly `counter >= threshold`.
+    fn counter_tracks_trailing_streak(
+        case in |rng: &mut TestRng| {
+            let max = 1 + rng.below(15) as u8;
+            let threshold = 1 + rng.below(max as u64) as u8;
+            let stream: Vec<bool> = (0..64).map(|_| rng.below(3) > 0).collect();
+            (max, threshold, stream)
+        },
+        cases = 64
+    ) {
+        let (max, threshold, stream) = case;
+        let mut c = ConfidenceEstimator::new(256, max, threshold);
+        let mut streak = 0u64;
+        for (i, &correct) in stream.iter().enumerate() {
+            c.update(0x1234, 0x7, correct);
+            streak = if correct { streak + 1 } else { 0 };
+            let expect = streak.min(max as u64) as u8;
+            prop_assert!(
+                c.level(0x1234, 0x7) == expect,
+                "step {i}: counter {} != trailing streak model {expect} \
+                 (max={max})",
+                c.level(0x1234, 0x7)
+            );
+            prop_assert!(
+                c.is_confident(0x1234, 0x7) == (expect >= threshold),
+                "step {i}: confidence disagrees with threshold {threshold}"
+            );
+        }
+    }
+}
+
+prop_test! {
+    /// Aliasing is by index only: updates to one (pc, history) pair never
+    /// disturb an entry with a different table index, and always hit the
+    /// entry with the same index.
+    fn entries_alias_exactly_by_index(
+        case in |rng: &mut TestRng| {
+            (rng.next_u64(), rng.below(1 << 10), rng.next_u64(), rng.below(1 << 10))
+        },
+        cases = 32
+    ) {
+        let (pc_a, hist_a, pc_b, hist_b) = case;
+        let entries = 1024u64;
+        let index = |pc: u64, h: u64| ((pc >> 2) ^ h) & (entries - 1);
+        let mut c = ConfidenceEstimator::new(entries as usize, 15, 12);
+        for _ in 0..5 {
+            c.update(pc_a, hist_a, true);
+        }
+        let expect_b = if index(pc_a, hist_a) == index(pc_b, hist_b) { 5 } else { 0 };
+        prop_assert!(
+            c.level(pc_b, hist_b) == expect_b,
+            "aliasing disagrees with the documented index function: \
+             level {} expected {expect_b}",
+            c.level(pc_b, hist_b)
+        );
+    }
+}

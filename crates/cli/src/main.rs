@@ -4,13 +4,14 @@
 //! ```text
 //! multipath run [OPTIONS] <BENCH>...       simulate one workload
 //! multipath trace [OPTIONS] <BENCH>...     run with probes: Perfetto + stats.json
+//! multipath explain [OPTIONS] <BENCH>...   reuse/recycle attribution + path tree
 //! multipath compare [OPTIONS] <BENCH>...   all six configurations side by side
 //! multipath figures [FIG]...               regenerate paper figures (parallel sweep)
 //! multipath list                           list benchmarks, machines, policies
 //! multipath disasm <BENCH>                 disassemble a kernel
 //!
 //! Options:
-//!   --features <smt|tme|rec|rec-ru|rec-rs|rec-rs-ru>   (run/trace; default rec-rs-ru)
+//!   --features <smt|tme|rec|rec-ru|rec-rs|rec-rs-ru>   (run/trace/explain; default rec-rs-ru)
 //!   --machine  <big.2.16|big.1.8|small.2.8|small.1.8>  (default big.2.16)
 //!   --policy   <stop-N|fetch-N|nostop-N>               (default stop-8)
 //!   --commits  <N>      committed instructions per program (default 30000)
@@ -20,11 +21,23 @@
 //!   --interval <N>      time-series interval width in cycles (default 100)
 //!   --events <LIST>     comma-separated event filter (default all)
 //!   --out <PATH>        Perfetto/Chrome-trace output (default multipath-trace.json)
-//!   --stats-out <PATH>  stats.json output (default multipath-stats.json)
+//!   --stats-out <PATH>  stats output (default multipath-stats.json)
+//!   --format <json|csv> stats output format: stats.json document, or one CSV
+//!                       row per interval under a COUNTER_NAMES header
 //!   --timeline <N>      also print the text timeline of the last N cycles
 //!   --print-events <N>  dump the last N events as text
 //!
-//! `figures` takes any of fig3 fig4 fig5 fig6 table1 (default: all), and
+//! Explain options:
+//!   --top <N>           rows per attribution table (default 10)
+//!   --json-out <PATH>   multipath-explain/v1 document (default multipath-explain.json)
+//!   --report-out <PATH> also write the markdown report to a file
+//!   --dot-out <PATH>    write the fork/merge/squash path DAG as Graphviz DOT
+//!   --tree              print the ASCII path tree after the report
+//!
+//! Output paths get their parent directories created on demand.
+//!
+//! `figures` takes any of fig3 fig4 fig5 fig6 table1 explain (default:
+//! all), and
 //! honours MULTIPATH_THREADS (worker count), MULTIPATH_BUDGET=quick
 //! (smoke-sized sweep), and MP_FORMAT=csv.
 //! ```
@@ -47,17 +60,31 @@ struct Options {
 fn usage() -> ExitCode {
     eprint!(
         "usage:\n  multipath run [OPTIONS] <BENCH>...\n  multipath trace [OPTIONS] <BENCH>...\n  \
+         multipath explain [OPTIONS] <BENCH>...\n  \
          multipath compare [OPTIONS] <BENCH>...\n  \
-         multipath figures [fig3|fig4|fig5|fig6|table1]...\n  \
+         multipath figures [fig3|fig4|fig5|fig6|table1|explain]...\n  \
          multipath list\n  multipath disasm <BENCH>\n\noptions:\n  --features smt|tme|rec|rec-ru|rec-rs|rec-rs-ru\n  \
          --machine big.2.16|big.1.8|small.2.8|small.1.8\n  --policy stop-N|fetch-N|nostop-N\n  \
          --commits N   --seed N\n\ntrace options:\n  \
          --interval N   --events LIST   --out PATH   --stats-out PATH\n  \
-         --timeline N   --print-events N\n\nenvironment (figures):\n  \
+         --format json|csv   --timeline N   --print-events N\n\nexplain options:\n  \
+         --top N   --json-out PATH   --report-out PATH   --dot-out PATH   --tree\n\n\
+         environment (figures):\n  \
          MULTIPATH_THREADS=N   sweep worker count (default: all cores)\n  \
          MULTIPATH_BUDGET=quick   smoke-sized sweep\n  MP_FORMAT=csv   CSV output\n"
     );
     ExitCode::from(2)
+}
+
+/// Writes `contents` to `path`, creating missing parent directories first
+/// (so `--out reports/a/trace.json` works on a fresh checkout).
+fn write_creating_dirs(path: &str, contents: &str) -> std::io::Result<()> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, contents)
 }
 
 fn parse_features(s: &str) -> Option<Features> {
@@ -186,6 +213,7 @@ struct TraceOptions {
     filter: EventFilter,
     out: String,
     stats_out: String,
+    csv: bool,
     timeline: Option<u64>,
     print_events: Option<usize>,
 }
@@ -198,6 +226,7 @@ fn parse_trace_options(args: &[String]) -> Option<(TraceOptions, Vec<String>)> {
         filter: EventFilter::all(),
         out: "multipath-trace.json".to_owned(),
         stats_out: "multipath-stats.json".to_owned(),
+        csv: false,
         timeline: None,
         print_events: None,
     };
@@ -215,6 +244,16 @@ fn parse_trace_options(args: &[String]) -> Option<(TraceOptions, Vec<String>)> {
             },
             "--out" => topts.out = it.next()?.clone(),
             "--stats-out" => topts.stats_out = it.next()?.clone(),
+            "--format" => {
+                topts.csv = match it.next()?.as_str() {
+                    "csv" => true,
+                    "json" => false,
+                    other => {
+                        eprintln!("error: unknown stats format '{other}' (expected json or csv)");
+                        return None;
+                    }
+                }
+            }
             "--timeline" => topts.timeline = Some(it.next()?.parse().ok()?),
             "--print-events" => topts.print_events = Some(it.next()?.parse().ok()?),
             _ => rest.push(arg.clone()),
@@ -236,6 +275,7 @@ fn cmd_trace(args: &[String]) -> ExitCode {
         ring: topts.print_events.map(|n| n.max(1)),
         interval: Some(topts.interval.max(1)),
         spans: true,
+        explain: false,
         filter: topts.filter,
     });
     sim.enable_host_profile();
@@ -276,13 +316,17 @@ fn cmd_trace(args: &[String]) -> ExitCode {
             println!("{}", ev.render());
         }
     }
-    let doc = stats_json(
-        &label,
-        opts.features.label(),
-        &stats,
-        probes.interval.as_ref(),
-    );
-    if let Err(e) = std::fs::write(&topts.stats_out, doc) {
+    let doc = if topts.csv {
+        multipath_core::intervals_csv(probes.interval.as_ref().expect("interval sink on"))
+    } else {
+        stats_json(
+            &label,
+            opts.features.label(),
+            &stats,
+            probes.interval.as_ref(),
+        )
+    };
+    if let Err(e) = write_creating_dirs(&topts.stats_out, &doc) {
         eprintln!("error: writing {}: {e}", topts.stats_out);
         return ExitCode::FAILURE;
     }
@@ -291,7 +335,7 @@ fn cmd_trace(args: &[String]) -> ExitCode {
         .as_ref()
         .expect("spans were enabled")
         .chrome_trace_json(sim.config().contexts);
-    if let Err(e) = std::fs::write(&topts.out, trace) {
+    if let Err(e) = write_creating_dirs(&topts.out, &trace) {
         eprintln!("error: writing {}: {e}", topts.out);
         return ExitCode::FAILURE;
     }
@@ -300,6 +344,107 @@ fn cmd_trace(args: &[String]) -> ExitCode {
         "wrote {} and {} (open the trace at https://ui.perfetto.dev)",
         topts.out, topts.stats_out
     );
+    ExitCode::SUCCESS
+}
+
+struct ExplainOptions {
+    top: usize,
+    json_out: String,
+    report_out: Option<String>,
+    dot_out: Option<String>,
+    tree: bool,
+}
+
+/// Splits the explain-specific flags off `args`, returning the remainder
+/// (which parses as ordinary run options).
+fn parse_explain_options(args: &[String]) -> Option<(ExplainOptions, Vec<String>)> {
+    let mut eopts = ExplainOptions {
+        top: 10,
+        json_out: "multipath-explain.json".to_owned(),
+        report_out: None,
+        dot_out: None,
+        tree: false,
+    };
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--top" => eopts.top = it.next()?.parse().ok()?,
+            "--json-out" => eopts.json_out = it.next()?.clone(),
+            "--report-out" => eopts.report_out = Some(it.next()?.clone()),
+            "--dot-out" => eopts.dot_out = Some(it.next()?.clone()),
+            "--tree" => eopts.tree = true,
+            _ => rest.push(arg.clone()),
+        }
+    }
+    Some((eopts, rest))
+}
+
+fn cmd_explain(args: &[String]) -> ExitCode {
+    let Some((eopts, rest)) = parse_explain_options(args) else {
+        return usage();
+    };
+    let Some(opts) = parse_options(&rest) else {
+        return usage();
+    };
+    let programs = mix::programs(&opts.benches, opts.seed);
+    let mut sim = Simulator::new(configure(&opts, opts.features), programs);
+    sim.enable_probes(ProbeConfig {
+        ring: None,
+        interval: None,
+        spans: false,
+        explain: true,
+        filter: EventFilter::all(),
+    });
+
+    let total = opts.commits * opts.benches.len() as u64;
+    sim.run(total, total.saturating_mul(100).max(1_000_000));
+    sim.finish_probes();
+
+    let stats = sim.stats().clone();
+    let names: Vec<&str> = opts.benches.iter().map(|b| b.name()).collect();
+    let label = names.join("+");
+    let probes = sim.take_probes().expect("probes were enabled");
+    let attr = probes.attribution.as_ref().expect("attribution sink on");
+    let tree = probes.tree.as_ref().expect("path-tree sink on");
+
+    let report = multipath_core::explain_markdown(
+        &label,
+        opts.features.label(),
+        &stats,
+        attr,
+        tree,
+        eopts.top,
+    );
+    print!("{report}");
+    if eopts.tree {
+        println!();
+        print!("{}", tree.ascii());
+    }
+
+    let doc =
+        multipath_core::explain_json(&label, opts.features.label(), &stats, attr, tree, eopts.top);
+    if let Err(e) = write_creating_dirs(&eopts.json_out, &doc) {
+        eprintln!("error: writing {}: {e}", eopts.json_out);
+        return ExitCode::FAILURE;
+    }
+    let mut wrote = vec![eopts.json_out.clone()];
+    if let Some(path) = &eopts.report_out {
+        if let Err(e) = write_creating_dirs(path, &report) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        wrote.push(path.clone());
+    }
+    if let Some(path) = &eopts.dot_out {
+        if let Err(e) = write_creating_dirs(path, &tree.dot()) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        wrote.push(path.clone());
+    }
+    println!();
+    println!("wrote {}", wrote.join(" and "));
     ExitCode::SUCCESS
 }
 
@@ -332,7 +477,7 @@ fn cmd_list() -> ExitCode {
 }
 
 fn cmd_figures(args: &[String]) -> ExitCode {
-    const ALL: [&str; 5] = ["fig3", "fig4", "fig5", "fig6", "table1"];
+    const ALL: [&str; 6] = ["fig3", "fig4", "fig5", "fig6", "table1", "explain"];
     let requested: Vec<&str> = if args.is_empty() {
         ALL.to_vec()
     } else {
@@ -407,6 +552,14 @@ fn cmd_figures(args: &[String]) -> ExitCode {
                     print!("{}", multipath_bench::render_table1(&rows));
                 }
             }
+            "explain" => {
+                let rows = multipath_bench::explain_rows(&budget);
+                if csv {
+                    print!("{}", multipath_bench::render_explain_csv(&rows));
+                } else {
+                    print!("{}", multipath_bench::render_explain(&rows));
+                }
+            }
             _ => unreachable!("validated above"),
         }
     }
@@ -431,6 +584,7 @@ fn main() -> ExitCode {
         Some((cmd, rest)) => match cmd.as_str() {
             "run" => cmd_run(rest),
             "trace" => cmd_trace(rest),
+            "explain" => cmd_explain(rest),
             "compare" => cmd_compare(rest),
             "figures" => cmd_figures(rest),
             "list" => cmd_list(),

@@ -424,6 +424,7 @@ impl Simulator {
                 crate::probe::EventKind::Merge {
                     source: source.0,
                     len,
+                    reuse: reuse_allowed,
                 }
             };
             self.probe(target, pc, kind);

@@ -56,6 +56,7 @@ pub mod config;
 pub mod context;
 pub mod emulator;
 pub mod exec;
+pub mod explain;
 pub mod frontend;
 pub mod ids;
 pub mod issue_stage;
@@ -72,10 +73,15 @@ pub mod trace;
 pub mod writeback;
 
 pub use config::{AltPolicy, Features, RecycledPrediction, SimConfig};
+pub use explain::{
+    explain_json, explain_markdown, AttributionSink, BranchRow, MergeEdge, PathNode, PathNodeKind,
+    PathTreeSink, SquashSite,
+};
 pub use ids::{CtxId, InstTag, PhysReg, ProgId};
 pub use probe::{
-    stats_json, CtxView, Event, EventFilter, EventKind, InstClass, Interval, IntervalSink,
-    NullSink, ProbeConfig, ProbeSink, Probes, RefuseReason, RingSink, SpanRecorder, StageProfile,
+    intervals_csv, stats_json, CtxView, Event, EventFilter, EventKind, InstClass, Interval,
+    IntervalSink, NullSink, ProbeConfig, ProbeSink, Probes, RefuseReason, ReuseDeny, RingSink,
+    SpanRecorder, StageProfile,
 };
 pub use sim::{Group, ProgramInstance, Simulator};
 pub use stats::Stats;

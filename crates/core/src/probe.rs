@@ -125,12 +125,105 @@ pub enum RefuseReason {
 }
 
 impl RefuseReason {
+    /// Number of refusal reasons (width of attribution buckets).
+    pub const COUNT: usize = 3;
+
+    /// All reasons, index-aligned with [`RefuseReason::index`].
+    pub const ALL: [RefuseReason; RefuseReason::COUNT] = [
+        RefuseReason::CycleCap,
+        RefuseReason::NoSpare,
+        RefuseReason::DuplicatePath,
+    ];
+
+    /// Dense index into per-reason buckets.
+    pub fn index(self) -> usize {
+        match self {
+            RefuseReason::CycleCap => 0,
+            RefuseReason::NoSpare => 1,
+            RefuseReason::DuplicatePath => 2,
+        }
+    }
+
     /// Short display name.
     pub fn name(self) -> &'static str {
         match self {
             RefuseReason::CycleCap => "cycle_cap",
             RefuseReason::NoSpare => "no_spare",
             RefuseReason::DuplicatePath => "duplicate_path",
+        }
+    }
+}
+
+/// Why a recycled instruction was renamed fresh instead of reusing its
+/// retained result — the paper's reuse-miss taxonomy. Exactly one cause is
+/// attributed per recycled-but-not-reused instruction, so the bucket sums
+/// reconcile with `Stats`: `Σ buckets == recycled − reused`.
+///
+/// Causes are attributed in a fixed priority order (the order below), so
+/// an instruction failing several checks lands in one deterministic
+/// bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReuseDeny {
+    /// The stream is not reuse-capable: the RU feature is off, the stream
+    /// replays from a re-spawn buffer, or it is a self/backward merge
+    /// (same-context streams never reuse).
+    Disabled,
+    /// The retained entry never produced a result (not yet executed,
+    /// fetched-only, or poisoned by a parent-path squash).
+    NotExecuted,
+    /// The retained entry was itself a reuse copy; reuse does not chain.
+    ChainedReuse,
+    /// The instruction produces no reusable register result (no
+    /// destination, control, or store).
+    NoResult,
+    /// The old physical register was already released back to the pool.
+    RegsReleased,
+    /// A source logical register was overwritten since the trace was
+    /// produced (written-bit set, and not refreshed by this stream).
+    SourceOverwritten,
+    /// A load whose memory dependence the MDB no longer vouches for
+    /// (address unknown, or an intervening store invalidated it).
+    MemInvalidated,
+}
+
+impl ReuseDeny {
+    /// Number of deny causes (width of taxonomy buckets).
+    pub const COUNT: usize = 7;
+
+    /// All causes, index-aligned with [`ReuseDeny::index`].
+    pub const ALL: [ReuseDeny; ReuseDeny::COUNT] = [
+        ReuseDeny::Disabled,
+        ReuseDeny::NotExecuted,
+        ReuseDeny::ChainedReuse,
+        ReuseDeny::NoResult,
+        ReuseDeny::RegsReleased,
+        ReuseDeny::SourceOverwritten,
+        ReuseDeny::MemInvalidated,
+    ];
+
+    /// Dense index into taxonomy buckets.
+    pub fn index(self) -> usize {
+        match self {
+            ReuseDeny::Disabled => 0,
+            ReuseDeny::NotExecuted => 1,
+            ReuseDeny::ChainedReuse => 2,
+            ReuseDeny::NoResult => 3,
+            ReuseDeny::RegsReleased => 4,
+            ReuseDeny::SourceOverwritten => 5,
+            ReuseDeny::MemInvalidated => 6,
+        }
+    }
+
+    /// Name used in the explain document.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReuseDeny::Disabled => "reuse_disabled",
+            ReuseDeny::NotExecuted => "not_executed",
+            ReuseDeny::ChainedReuse => "chained_reuse",
+            ReuseDeny::NoResult => "no_result",
+            ReuseDeny::RegsReleased => "regs_released",
+            ReuseDeny::SourceOverwritten => "source_overwritten",
+            ReuseDeny::MemInvalidated => "mem_invalidated",
         }
     }
 }
@@ -151,14 +244,22 @@ pub enum EventKind {
     Issue { class: InstClass },
     /// An instruction committed.
     Commit { class: InstClass },
-    /// A control instruction resolved.
-    Resolve { mispredicted: bool, covered: bool },
+    /// A control instruction resolved. `cond` distinguishes conditional
+    /// branches from jumps; `conf` is the JRS confidence counter read just
+    /// before the resolution trained it.
+    Resolve {
+        mispredicted: bool,
+        covered: bool,
+        cond: bool,
+        conf: u8,
+    },
     /// A low-confidence branch forked its alternate path into `alt`.
     Fork { alt: u8 },
     /// An inactive trace was re-spawned as an alternate in `alt`.
     Respawn { alt: u8 },
-    /// A recycle stream started (merge) from `source`, `len` instructions.
-    Merge { source: u8, len: u64 },
+    /// A recycle stream started (merge) from `source`, `len` instructions;
+    /// `reuse` is whether the stream is reuse-capable.
+    Merge { source: u8, len: u64, reuse: bool },
     /// A backward-branch (primary-to-primary) merge, `len` instructions.
     BackMerge { len: u64 },
     /// `count` instructions squashed after rename.
@@ -167,11 +268,15 @@ pub enum EventKind {
     PregStall,
     /// A fork opportunity was declined.
     ForkRefused { reason: RefuseReason },
+    /// A recycled instruction could not reuse its retained result.
+    ReuseDenied { class: InstClass, cause: ReuseDeny },
+    /// A covered misprediction promoted the alternate in `alt` to primary.
+    Promote { alt: u8 },
 }
 
 impl EventKind {
     /// Number of event kinds (width of [`EventFilter`]).
-    pub const COUNT: usize = 14;
+    pub const COUNT: usize = 16;
 
     /// Names accepted by [`EventFilter::parse`], index-aligned with
     /// [`EventKind::tag`].
@@ -190,6 +295,8 @@ impl EventKind {
         "squash",
         "preg_stall",
         "fork_refused",
+        "reuse_denied",
+        "promote",
     ];
 
     /// Dense kind index (filter bit position).
@@ -209,6 +316,8 @@ impl EventKind {
             EventKind::Squash { .. } => 11,
             EventKind::PregStall => 12,
             EventKind::ForkRefused { .. } => 13,
+            EventKind::ReuseDenied { .. } => 14,
+            EventKind::Promote { .. } => 15,
         }
     }
 
@@ -643,12 +752,16 @@ impl ProbeSink for SpanRecorder {
         let name = match ev.kind {
             EventKind::Fork { alt } => format!("fork->ctx{alt}"),
             EventKind::Respawn { alt } => format!("respawn->ctx{alt}"),
-            EventKind::Merge { source, len } => format!("merge<-ctx{source} ({len})"),
+            EventKind::Merge { source, len, reuse } => {
+                let tag = if reuse { ", reuse" } else { "" };
+                format!("merge<-ctx{source} ({len}{tag})")
+            }
             EventKind::BackMerge { len } => format!("back_merge ({len})"),
             EventKind::Squash { count } => format!("squash ({count})"),
             EventKind::Resolve {
                 mispredicted: true,
                 covered,
+                ..
             } => {
                 if covered {
                     "mispredict (covered)".to_owned()
@@ -658,6 +771,7 @@ impl ProbeSink for SpanRecorder {
             }
             EventKind::PregStall => "preg_stall".to_owned(),
             EventKind::ForkRefused { reason } => format!("fork_refused ({})", reason.name()),
+            EventKind::Promote { alt } => format!("promote<-ctx{alt}"),
             // High-frequency per-instruction kinds would swamp the
             // timeline; the interval sink carries their aggregates.
             _ => return,
@@ -722,6 +836,8 @@ pub struct ProbeConfig {
     pub interval: Option<u64>,
     /// Record Perfetto spans and instants.
     pub spans: bool,
+    /// Build attribution tables and the path tree (`multipath explain`).
+    pub explain: bool,
     /// Event filter applied by the ring and the span instants.
     pub filter: EventFilter,
 }
@@ -732,6 +848,7 @@ impl Default for ProbeConfig {
             ring: None,
             interval: Some(100),
             spans: false,
+            explain: false,
             filter: EventFilter::all(),
         }
     }
@@ -748,6 +865,10 @@ pub struct Probes {
     pub interval: Option<IntervalSink>,
     /// Perfetto span recorder, if configured.
     pub spans: Option<SpanRecorder>,
+    /// Attribution tables (taxonomy, per-PC, per-class), if configured.
+    pub attribution: Option<crate::explain::AttributionSink>,
+    /// Path-tree recorder (fork/merge/squash DAG), if configured.
+    pub tree: Option<crate::explain::PathTreeSink>,
     /// Scratch buffer for per-cycle context views (reused, no allocation
     /// in steady state).
     pub(crate) views: Vec<CtxView>,
@@ -760,6 +881,10 @@ impl Probes {
             ring: config.ring.map(|cap| RingSink::new(cap, config.filter)),
             interval: config.interval.map(IntervalSink::new),
             spans: config.spans.then(|| SpanRecorder::new(config.filter)),
+            attribution: config
+                .explain
+                .then(crate::explain::AttributionSink::default),
+            tree: config.explain.then(crate::explain::PathTreeSink::new),
             views: Vec::new(),
         }
     }
@@ -771,6 +896,9 @@ impl Probes {
         }
         if let Some(sp) = &mut self.spans {
             sp.finish(cycle);
+        }
+        if let Some(tr) = &mut self.tree {
+            tr.finish(cycle);
         }
     }
 }
@@ -785,6 +913,12 @@ impl ProbeSink for Probes {
         }
         if let Some(sp) = &mut self.spans {
             sp.event(ev);
+        }
+        if let Some(at) = &mut self.attribution {
+            at.event(ev);
+        }
+        if let Some(tr) = &mut self.tree {
+            tr.event(ev);
         }
     }
 
@@ -801,7 +935,7 @@ impl ProbeSink for Probes {
     }
 }
 
-fn json_u64_array(out: &mut String, vals: impl Iterator<Item = u64>) {
+pub(crate) fn json_u64_array(out: &mut String, vals: impl Iterator<Item = u64>) {
     out.push('[');
     for (i, v) in vals.enumerate() {
         if i > 0 {
@@ -812,7 +946,7 @@ fn json_u64_array(out: &mut String, vals: impl Iterator<Item = u64>) {
     out.push(']');
 }
 
-fn json_str_array(out: &mut String, vals: impl Iterator<Item = &'static str>) {
+pub(crate) fn json_str_array(out: &mut String, vals: impl Iterator<Item = &'static str>) {
     out.push('[');
     for (i, v) in vals.enumerate() {
         if i > 0 {
@@ -904,6 +1038,27 @@ pub fn stats_json(
     out
 }
 
+/// Renders the interval time series as CSV: a `start,end` pair followed by
+/// every counter delta, one row per closed interval, with a
+/// [`Stats::COUNTER_NAMES`] header — `multipath trace --format csv`.
+pub fn intervals_csv(sink: &IntervalSink) -> String {
+    let mut out = String::with_capacity(64 * (sink.intervals().len() + 1));
+    out.push_str("start_cycle,end_cycle");
+    for name in Stats::COUNTER_NAMES {
+        out.push(',');
+        out.push_str(name);
+    }
+    out.push('\n');
+    for iv in sink.intervals() {
+        let _ = write!(out, "{},{}", iv.start_cycle, iv.end_cycle);
+        for v in iv.counters.iter() {
+            let _ = write!(out, ",{v}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
 /// Host-side wall-clock accumulation per pipeline stage. Enabled with
 /// `Simulator::enable_host_profile`; `report` renders shares next to the
 /// simulated work so a slow stage is attributable (e.g. "rename is 40% of
@@ -991,7 +1146,11 @@ mod tests {
     fn filter_parses_names_and_rejects_unknown() {
         let f = EventFilter::parse("fork,merge,squash").unwrap();
         assert!(f.accepts(EventKind::Fork { alt: 1 }));
-        assert!(f.accepts(EventKind::Merge { source: 2, len: 5 }));
+        assert!(f.accepts(EventKind::Merge {
+            source: 2,
+            len: 5,
+            reuse: true
+        }));
         assert!(!f.accepts(EventKind::Fetch { count: 8 }));
         assert!(EventFilter::parse("bogus").is_err());
         assert!(EventFilter::parse("all")
@@ -1021,16 +1180,27 @@ mod tests {
             EventKind::Resolve {
                 mispredicted: false,
                 covered: false,
+                cond: true,
+                conf: 0,
             },
             EventKind::Fork { alt: 0 },
             EventKind::Respawn { alt: 0 },
-            EventKind::Merge { source: 0, len: 0 },
+            EventKind::Merge {
+                source: 0,
+                len: 0,
+                reuse: false,
+            },
             EventKind::BackMerge { len: 0 },
             EventKind::Squash { count: 0 },
             EventKind::PregStall,
             EventKind::ForkRefused {
                 reason: RefuseReason::NoSpare,
             },
+            EventKind::ReuseDenied {
+                class: InstClass::Load,
+                cause: ReuseDeny::MemInvalidated,
+            },
+            EventKind::Promote { alt: 1 },
         ];
         assert_eq!(samples.len(), EventKind::COUNT);
         for (i, s) in samples.iter().enumerate() {
@@ -1108,6 +1278,58 @@ mod tests {
         assert!(doc.contains("\"cycles\""));
         assert!(doc.contains("\"width\": 50"));
         assert!(doc.contains("\"ipc\": 2.500000"));
+    }
+
+    #[test]
+    fn refuse_and_deny_taxonomies_are_dense() {
+        for (i, r) in RefuseReason::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+        for (i, d) in ReuseDeny::ALL.iter().enumerate() {
+            assert_eq!(d.index(), i);
+        }
+        assert_eq!(RefuseReason::ALL.len(), RefuseReason::COUNT);
+        assert_eq!(ReuseDeny::ALL.len(), ReuseDeny::COUNT);
+    }
+
+    #[test]
+    fn intervals_csv_has_header_and_one_row_per_interval() {
+        let mut sink = IntervalSink::new(10);
+        let mut stats = Stats::new(1);
+        for cycle in 1..=25 {
+            stats.cycles = cycle;
+            stats.renamed += 2;
+            sink.cycle_end(cycle, &stats, &[]);
+        }
+        sink.finish(25, &stats);
+        let csv = intervals_csv(&sink);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + sink.intervals().len());
+        assert!(lines[0].starts_with("start_cycle,end_cycle,cycles,"));
+        assert_eq!(
+            lines[0].split(',').count(),
+            2 + Stats::NUM_COUNTERS,
+            "header column count"
+        );
+        // Every row has the same arity and the deltas sum per column.
+        for row in &lines[1..] {
+            assert_eq!(row.split(',').count(), 2 + Stats::NUM_COUNTERS);
+        }
+        let renamed_col = 2 + Stats::COUNTER_NAMES
+            .iter()
+            .position(|&n| n == "renamed")
+            .unwrap();
+        let sum: u64 = lines[1..]
+            .iter()
+            .map(|r| {
+                r.split(',')
+                    .nth(renamed_col)
+                    .unwrap()
+                    .parse::<u64>()
+                    .unwrap()
+            })
+            .sum();
+        assert_eq!(sum, stats.renamed);
     }
 
     #[test]

@@ -267,14 +267,22 @@ impl Simulator {
             };
             let diverges = entry.inst.op.is_control() && next_pc != trace_next;
 
-            // Attempt reuse, then fall back to re-renaming for execution.
+            // Attempt reuse, then fall back to re-renaming for execution;
+            // the fallback cause feeds the explain taxonomy. A stream that
+            // is not reuse-capable (RU off, self/backward merge, respawn
+            // replay) denies everything with `Disabled`.
             let fresh = self.contexts[ctx.index()]
                 .recycle_stream
                 .as_ref()
                 .expect("stream present")
                 .fresh;
-            let reuse_from = source_ctx
-                .filter(|&src| reuse_allowed && self.reuse_legal(ctx, src, &entry, &fresh));
+            let (reuse_from, deny) = match source_ctx {
+                Some(src) if reuse_allowed => match self.reuse_check(src, &entry, &fresh) {
+                    Ok(()) => (Some(src), None),
+                    Err(cause) => (None, Some(cause)),
+                },
+                _ => (None, Some(crate::probe::ReuseDeny::Disabled)),
+            };
             let outcome = match reuse_from {
                 Some(src) => self.rename_reused(ctx, src, &entry),
                 None => self.rename_one(ctx, entry.pc, &entry.inst, pred, true),
@@ -283,6 +291,18 @@ impl Simulator {
                 if let Some(stream) = &mut self.contexts[ctx.index()].recycle_stream {
                     if let Some(d) = entry.dest {
                         stream.fresh[d.index()] = reuse_from.is_some();
+                    }
+                }
+                // Exactly one ReuseDenied per recycled-but-not-reused
+                // rename, so the taxonomy sums to `recycled − reused`.
+                if self.probing() {
+                    if let Some(cause) = deny {
+                        let class = crate::probe::InstClass::of(entry.inst.op);
+                        self.probe(
+                            ctx,
+                            entry.pc,
+                            crate::probe::EventKind::ReuseDenied { class, cause },
+                        );
                     }
                 }
             }
@@ -378,44 +398,50 @@ impl Simulator {
         c.fetch_stall_until = cycle + 1;
     }
 
-    /// Whether `entry` from `source`'s trace can be reused by `ctx`.
+    /// Whether `entry` from `source`'s trace can be reused, and if not,
+    /// why — the explain layer's [`crate::probe::ReuseDeny`] taxonomy.
     ///
     /// `fresh` is the active stream's freshness set: registers whose
     /// current mapping was itself installed by a reuse from this stream,
     /// for which value identity holds by construction even though the
     /// written-bit array conservatively marks them changed.
-    fn reuse_legal(
+    ///
+    /// Checks run in a fixed priority order so an entry failing several
+    /// lands in one deterministic bucket; `Ok(())` means every check
+    /// passed (the acceptance set is order-independent).
+    fn reuse_check(
         &self,
-        _ctx: CtxId,
         source: CtxId,
         entry: &AlEntry,
         fresh: &[bool; multipath_isa::NUM_LOGICAL_REGS],
-    ) -> bool {
-        if !entry.regs_held || !entry.executed || entry.fetched_only || entry.reused {
-            return false;
+    ) -> Result<(), crate::probe::ReuseDeny> {
+        use crate::probe::ReuseDeny;
+        if !entry.executed || entry.fetched_only {
+            return Err(ReuseDeny::NotExecuted);
         }
-        let Some(_) = entry.dest else { return false };
-        if entry.new_preg.is_none() {
-            return false;
+        if entry.reused {
+            return Err(ReuseDeny::ChainedReuse);
         }
         let op = entry.inst.op;
-        if op.is_control() || op.is_store() {
-            return false;
+        if entry.dest.is_none() || op.is_control() || op.is_store() {
+            return Err(ReuseDeny::NoResult);
+        }
+        if !entry.regs_held || entry.new_preg.is_none() {
+            return Err(ReuseDeny::RegsReleased);
         }
         for src in [entry.inst.src1, entry.inst.src2].into_iter().flatten() {
             if !src.is_zero() && !self.written.unchanged(source, src) && !fresh[src.index()] {
-                return false;
+                return Err(ReuseDeny::SourceOverwritten);
             }
         }
         if op.is_load() {
-            let Some(mem) = entry.mem else { return false };
-            let Some(addr) = mem.addr else { return false };
-            let asid = self.asid_of(source);
-            if !self.mdb.reusable(asid, entry.pc, addr) {
-                return false;
+            let addr = entry.mem.and_then(|m| m.addr);
+            match addr {
+                Some(addr) if self.mdb.reusable(self.asid_of(source), entry.pc, addr) => {}
+                _ => return Err(ReuseDeny::MemInvalidated),
             }
         }
-        true
+        Ok(())
     }
 
     /// Installs a reused instruction: the old physical register becomes

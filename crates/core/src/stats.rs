@@ -191,6 +191,13 @@ impl Stats {
         Stats::pct(self.back_merges, self.merges)
     }
 
+    /// Total fork refusals across all causes (per-cycle cap, no spare
+    /// context, duplicate path) — the denominator the explain layer's
+    /// refusal taxonomy reconciles against.
+    pub fn fork_refused(&self) -> u64 {
+        self.fork_refused_cap + self.fork_refused_nospare + self.forks_suppressed
+    }
+
     /// Branch prediction accuracy (conditional branches).
     pub fn branch_accuracy(&self) -> f64 {
         if self.branches == 0 {
@@ -257,6 +264,17 @@ mod tests {
             "mispredicts_recycled"
         );
         assert_eq!(*v.last().unwrap(), 9);
+    }
+
+    #[test]
+    fn fork_refused_sums_all_three_causes() {
+        let s = Stats {
+            fork_refused_cap: 3,
+            fork_refused_nospare: 5,
+            forks_suppressed: 7,
+            ..Stats::new(1)
+        };
+        assert_eq!(s.fork_refused(), 15);
     }
 
     #[test]

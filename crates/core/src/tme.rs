@@ -448,5 +448,17 @@ impl Simulator {
         a.last_used = cycle;
 
         self.stats.mispredicts_covered += 1;
+        if self.probing() {
+            let pc = self.contexts[old_primary.index()]
+                .al
+                .at_seq(branch_seq)
+                .map(|e| e.pc)
+                .unwrap_or(0);
+            self.probe(
+                old_primary,
+                pc,
+                crate::probe::EventKind::Promote { alt: alt.0 },
+            );
+        }
     }
 }

@@ -149,6 +149,13 @@ impl Simulator {
             .al
             .at_seq(seq)
             .is_some_and(|e| e.recycled);
+        // The JRS confidence counter as the fork decision saw it — read
+        // before the update below trains it (observation only).
+        let conf = if self.probing() {
+            self.predictor.confidence_level(pc, history)
+        } else {
+            0
+        };
         let mispredicted = match class {
             OperandClass::CondBr => {
                 self.stats.branches += 1;
@@ -186,6 +193,8 @@ impl Simulator {
                 crate::probe::EventKind::Resolve {
                     mispredicted,
                     covered: mispredicted && alt.is_some(),
+                    cond: class == OperandClass::CondBr,
+                    conf,
                 },
             );
         }

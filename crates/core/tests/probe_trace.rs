@@ -24,6 +24,7 @@ fn traced_run(bench: Benchmark, commits: u64) -> Simulator {
         ring: Some(256),
         interval: Some(50),
         spans: true,
+        explain: true,
         filter: EventFilter::all(),
     });
     sim.run(commits, commits * 200);
