@@ -7,6 +7,7 @@
 //! multipath explain [OPTIONS] <BENCH>...   reuse/recycle attribution + path tree
 //! multipath compare [OPTIONS] <BENCH>...   all six configurations side by side
 //! multipath figures [FIG]...               regenerate paper figures (parallel sweep)
+//! multipath serve [SERVE OPTIONS]          persistent HTTP simulation service
 //! multipath list                           list benchmarks, machines, policies
 //! multipath disasm <BENCH>                 disassemble a kernel
 //!
@@ -34,6 +35,12 @@
 //!   --dot-out <PATH>    write the fork/merge/squash path DAG as Graphviz DOT
 //!   --tree              print the ASCII path tree after the report
 //!
+//! Serve options:
+//!   --addr <HOST:PORT>  bind address (default 127.0.0.1:8273)
+//!   --workers <N>       worker threads (default: one per core)
+//!   --queue <N>         request-queue bound before 429s (default 64)
+//!   --cache-mb <N>      result-cache budget in MiB (default 64)
+//!
 //! Output paths get their parent directories created on demand.
 //!
 //! `figures` takes any of fig3 fig4 fig5 fig6 table1 explain (default:
@@ -42,37 +49,16 @@
 //! (smoke-sized sweep), and MP_FORMAT=csv.
 //! ```
 
-use multipath_core::{
-    stats_json, AltPolicy, EventFilter, Features, ProbeConfig, SimConfig, Simulator, Stats,
+use multipath_cli::{
+    parse_invocation, ExplainOptions, Invocation, Options, ServeOptions, TraceOptions, USAGE,
 };
-use multipath_workload::{kernels, mix, Benchmark};
+use multipath_core::{stats_json, Features, ProbeConfig, SimConfig, Simulator, Stats};
+use multipath_serve::{signal, Server};
+use multipath_workload::{kernels, mix};
 use std::process::ExitCode;
 
-struct Options {
-    features: Features,
-    machine: SimConfig,
-    policy: Option<AltPolicy>,
-    commits: u64,
-    seed: u64,
-    benches: Vec<Benchmark>,
-}
-
 fn usage() -> ExitCode {
-    eprint!(
-        "usage:\n  multipath run [OPTIONS] <BENCH>...\n  multipath trace [OPTIONS] <BENCH>...\n  \
-         multipath explain [OPTIONS] <BENCH>...\n  \
-         multipath compare [OPTIONS] <BENCH>...\n  \
-         multipath figures [fig3|fig4|fig5|fig6|table1|explain]...\n  \
-         multipath list\n  multipath disasm <BENCH>\n\noptions:\n  --features smt|tme|rec|rec-ru|rec-rs|rec-rs-ru\n  \
-         --machine big.2.16|big.1.8|small.2.8|small.1.8\n  --policy stop-N|fetch-N|nostop-N\n  \
-         --commits N   --seed N\n\ntrace options:\n  \
-         --interval N   --events LIST   --out PATH   --stats-out PATH\n  \
-         --format json|csv   --timeline N   --print-events N\n\nexplain options:\n  \
-         --top N   --json-out PATH   --report-out PATH   --dot-out PATH   --tree\n\n\
-         environment (figures):\n  \
-         MULTIPATH_THREADS=N   sweep worker count (default: all cores)\n  \
-         MULTIPATH_BUDGET=quick   smoke-sized sweep\n  MP_FORMAT=csv   CSV output\n"
-    );
+    eprint!("{USAGE}");
     ExitCode::from(2)
 }
 
@@ -85,79 +71,6 @@ fn write_creating_dirs(path: &str, contents: &str) -> std::io::Result<()> {
         }
     }
     std::fs::write(path, contents)
-}
-
-fn parse_features(s: &str) -> Option<Features> {
-    Some(match s {
-        "smt" => Features::smt(),
-        "tme" => Features::tme(),
-        "rec" => Features::rec(),
-        "rec-ru" => Features::rec_ru(),
-        "rec-rs" => Features::rec_rs(),
-        "rec-rs-ru" => Features::rec_rs_ru(),
-        _ => return None,
-    })
-}
-
-fn parse_machine(s: &str) -> Option<SimConfig> {
-    Some(match s {
-        "big.2.16" => SimConfig::big_2_16(),
-        "big.1.8" => SimConfig::big_1_8(),
-        "small.2.8" => SimConfig::small_2_8(),
-        "small.1.8" => SimConfig::small_1_8(),
-        _ => return None,
-    })
-}
-
-fn parse_policy(s: &str) -> Option<AltPolicy> {
-    let (kind, n) = s.split_once('-')?;
-    let n: u32 = n.parse().ok()?;
-    Some(match kind {
-        "stop" => AltPolicy::Stop(n),
-        "fetch" => AltPolicy::FetchOnly(n),
-        "nostop" => AltPolicy::NoStop(n),
-        _ => return None,
-    })
-}
-
-fn parse_options(args: &[String]) -> Option<Options> {
-    let mut opts = Options {
-        features: Features::rec_rs_ru(),
-        machine: SimConfig::big_2_16(),
-        policy: None,
-        commits: 30_000,
-        seed: 1,
-        benches: Vec::new(),
-    };
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--features" => opts.features = parse_features(it.next()?)?,
-            "--machine" => opts.machine = parse_machine(it.next()?)?,
-            "--policy" => opts.policy = Some(parse_policy(it.next()?)?),
-            "--commits" => opts.commits = it.next()?.parse().ok()?,
-            "--seed" => opts.seed = it.next()?.parse().ok()?,
-            name => match Benchmark::from_name(name) {
-                Some(b) => opts.benches.push(b),
-                None => {
-                    eprintln!("error: unknown benchmark or option '{name}' (see `multipath list`)");
-                    return None;
-                }
-            },
-        }
-    }
-    if opts.benches.is_empty() {
-        return None;
-    }
-    if opts.benches.len() > opts.machine.contexts {
-        eprintln!(
-            "error: {} programs exceed the machine's {} hardware contexts",
-            opts.benches.len(),
-            opts.machine.contexts
-        );
-        return None;
-    }
-    Some(opts)
 }
 
 fn configure(opts: &Options, features: Features) -> SimConfig {
@@ -192,11 +105,8 @@ fn print_stats(label: &str, s: &Stats) {
     );
 }
 
-fn cmd_run(args: &[String]) -> ExitCode {
-    let Some(opts) = parse_options(args) else {
-        return usage();
-    };
-    let stats = simulate(&opts, opts.features);
+fn cmd_run(opts: &Options) -> ExitCode {
+    let stats = simulate(opts, opts.features);
     let names: Vec<&str> = opts.benches.iter().map(|b| b.name()).collect();
     println!(
         "workload: {} | {} committed in {} cycles",
@@ -208,69 +118,9 @@ fn cmd_run(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-struct TraceOptions {
-    interval: u64,
-    filter: EventFilter,
-    out: String,
-    stats_out: String,
-    csv: bool,
-    timeline: Option<u64>,
-    print_events: Option<usize>,
-}
-
-/// Splits the trace-specific flags off `args`, returning the remainder
-/// (which parses as ordinary run options).
-fn parse_trace_options(args: &[String]) -> Option<(TraceOptions, Vec<String>)> {
-    let mut topts = TraceOptions {
-        interval: 100,
-        filter: EventFilter::all(),
-        out: "multipath-trace.json".to_owned(),
-        stats_out: "multipath-stats.json".to_owned(),
-        csv: false,
-        timeline: None,
-        print_events: None,
-    };
-    let mut rest = Vec::new();
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--interval" => topts.interval = it.next()?.parse().ok()?,
-            "--events" => match EventFilter::parse(it.next()?) {
-                Ok(f) => topts.filter = f,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return None;
-                }
-            },
-            "--out" => topts.out = it.next()?.clone(),
-            "--stats-out" => topts.stats_out = it.next()?.clone(),
-            "--format" => {
-                topts.csv = match it.next()?.as_str() {
-                    "csv" => true,
-                    "json" => false,
-                    other => {
-                        eprintln!("error: unknown stats format '{other}' (expected json or csv)");
-                        return None;
-                    }
-                }
-            }
-            "--timeline" => topts.timeline = Some(it.next()?.parse().ok()?),
-            "--print-events" => topts.print_events = Some(it.next()?.parse().ok()?),
-            _ => rest.push(arg.clone()),
-        }
-    }
-    Some((topts, rest))
-}
-
-fn cmd_trace(args: &[String]) -> ExitCode {
-    let Some((topts, rest)) = parse_trace_options(args) else {
-        return usage();
-    };
-    let Some(opts) = parse_options(&rest) else {
-        return usage();
-    };
+fn cmd_trace(topts: &TraceOptions, opts: &Options) -> ExitCode {
     let programs = mix::programs(&opts.benches, opts.seed);
-    let mut sim = Simulator::new(configure(&opts, opts.features), programs);
+    let mut sim = Simulator::new(configure(opts, opts.features), programs);
     sim.enable_probes(ProbeConfig {
         ring: topts.print_events.map(|n| n.max(1)),
         interval: Some(topts.interval.max(1)),
@@ -347,54 +197,15 @@ fn cmd_trace(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-struct ExplainOptions {
-    top: usize,
-    json_out: String,
-    report_out: Option<String>,
-    dot_out: Option<String>,
-    tree: bool,
-}
-
-/// Splits the explain-specific flags off `args`, returning the remainder
-/// (which parses as ordinary run options).
-fn parse_explain_options(args: &[String]) -> Option<(ExplainOptions, Vec<String>)> {
-    let mut eopts = ExplainOptions {
-        top: 10,
-        json_out: "multipath-explain.json".to_owned(),
-        report_out: None,
-        dot_out: None,
-        tree: false,
-    };
-    let mut rest = Vec::new();
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--top" => eopts.top = it.next()?.parse().ok()?,
-            "--json-out" => eopts.json_out = it.next()?.clone(),
-            "--report-out" => eopts.report_out = Some(it.next()?.clone()),
-            "--dot-out" => eopts.dot_out = Some(it.next()?.clone()),
-            "--tree" => eopts.tree = true,
-            _ => rest.push(arg.clone()),
-        }
-    }
-    Some((eopts, rest))
-}
-
-fn cmd_explain(args: &[String]) -> ExitCode {
-    let Some((eopts, rest)) = parse_explain_options(args) else {
-        return usage();
-    };
-    let Some(opts) = parse_options(&rest) else {
-        return usage();
-    };
+fn cmd_explain(eopts: &ExplainOptions, opts: &Options) -> ExitCode {
     let programs = mix::programs(&opts.benches, opts.seed);
-    let mut sim = Simulator::new(configure(&opts, opts.features), programs);
+    let mut sim = Simulator::new(configure(opts, opts.features), programs);
     sim.enable_probes(ProbeConfig {
         ring: None,
         interval: None,
         spans: false,
         explain: true,
-        filter: EventFilter::all(),
+        filter: multipath_core::EventFilter::all(),
     });
 
     let total = opts.commits * opts.benches.len() as u64;
@@ -448,14 +259,11 @@ fn cmd_explain(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_compare(args: &[String]) -> ExitCode {
-    let Some(opts) = parse_options(args) else {
-        return usage();
-    };
+fn cmd_compare(opts: &Options) -> ExitCode {
     let names: Vec<&str> = opts.benches.iter().map(|b| b.name()).collect();
     println!("workload: {}", names.join("+"));
     for features in Features::all_six() {
-        let stats = simulate(&opts, features);
+        let stats = simulate(opts, features);
         print_stats(features.label(), &stats);
     }
     ExitCode::SUCCESS
@@ -463,7 +271,7 @@ fn cmd_compare(args: &[String]) -> ExitCode {
 
 fn cmd_list() -> ExitCode {
     println!("benchmarks:");
-    for b in Benchmark::ALL {
+    for b in multipath_workload::Benchmark::ALL {
         println!(
             "  {:10} {}",
             b.name(),
@@ -476,26 +284,7 @@ fn cmd_list() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_figures(args: &[String]) -> ExitCode {
-    const ALL: [&str; 6] = ["fig3", "fig4", "fig5", "fig6", "table1", "explain"];
-    let requested: Vec<&str> = if args.is_empty() {
-        ALL.to_vec()
-    } else {
-        let mut picked = Vec::new();
-        for a in args {
-            match ALL.iter().find(|&&f| f == a) {
-                Some(&f) => picked.push(f),
-                None => {
-                    eprintln!(
-                        "error: unknown figure '{a}' (expected one of {})",
-                        ALL.join(" ")
-                    );
-                    return usage();
-                }
-            }
-        }
-        picked
-    };
+fn cmd_figures(requested: &[&str]) -> ExitCode {
     let budget = multipath_bench::Budget::from_env();
     let csv = multipath_bench::csv_requested();
     eprintln!(
@@ -560,37 +349,57 @@ fn cmd_figures(args: &[String]) -> ExitCode {
                     print!("{}", multipath_bench::render_explain(&rows));
                 }
             }
-            _ => unreachable!("validated above"),
+            _ => unreachable!("validated by the parser"),
         }
     }
     ExitCode::SUCCESS
 }
 
-fn cmd_disasm(args: &[String]) -> ExitCode {
-    let Some(name) = args.first() else {
-        return usage();
-    };
-    let Some(bench) = Benchmark::from_name(name) else {
-        return usage();
-    };
+fn cmd_disasm(bench: multipath_workload::Benchmark) -> ExitCode {
     let program = kernels::build(bench, 1);
     print!("{}", program.listing());
     ExitCode::SUCCESS
 }
 
+fn cmd_serve(sopts: &ServeOptions) -> ExitCode {
+    let server = match Server::bind(&sopts.config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: binding {}: {e}", sopts.config.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "multipath serve listening on http://{} ({} workers, queue {}, cache {} MiB)",
+        server.local_addr(),
+        server.workers(),
+        sopts.config.queue,
+        sopts.config.cache_bytes >> 20,
+    );
+    eprintln!(
+        "endpoints: POST /v1/run  POST /v1/sweep  GET /v1/explain/:kernel  /healthz  /metrics"
+    );
+    // SIGINT/ctrl-c and SIGTERM request a graceful drain: the accept loop
+    // stops, in-flight simulations finish, workers join.
+    server.run(signal::install());
+    eprintln!("multipath serve: drained, shutting down");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.split_first() {
-        Some((cmd, rest)) => match cmd.as_str() {
-            "run" => cmd_run(rest),
-            "trace" => cmd_trace(rest),
-            "explain" => cmd_explain(rest),
-            "compare" => cmd_compare(rest),
-            "figures" => cmd_figures(rest),
-            "list" => cmd_list(),
-            "disasm" => cmd_disasm(rest),
-            _ => usage(),
-        },
-        None => usage(),
+    match parse_invocation(&args) {
+        Ok(Invocation::Run(opts)) => cmd_run(&opts),
+        Ok(Invocation::Trace(topts, opts)) => cmd_trace(&topts, &opts),
+        Ok(Invocation::Explain(eopts, opts)) => cmd_explain(&eopts, &opts),
+        Ok(Invocation::Compare(opts)) => cmd_compare(&opts),
+        Ok(Invocation::Figures(figs)) => cmd_figures(&figs),
+        Ok(Invocation::Serve(sopts)) => cmd_serve(&sopts),
+        Ok(Invocation::List) => cmd_list(),
+        Ok(Invocation::Disasm(bench)) => cmd_disasm(bench),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            usage()
+        }
     }
 }

@@ -9,7 +9,7 @@
 //!   bumped generation, so a stale handle can never read a recycled slot.
 //!   The respawn replay path stores its drained trace entries here and
 //!   passes 8-byte handles around instead of cloning ~200-byte payloads.
-//! - [`Scratch`]: the per-cycle working buffers owned by `Simulator`
+//! - `Scratch` (crate-internal): the per-cycle working buffers owned by `Simulator`
 //!   (ICOUNT tallies, thread orderings, spare replay queues). Stages take
 //!   a buffer out, use it, and put it back; the capacity survives across
 //!   cycles so steady-state simulation performs no heap allocation for

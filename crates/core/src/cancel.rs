@@ -1,0 +1,130 @@
+//! Cooperative cancellation for long-running simulations.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle shared between the code
+//! driving a simulation (e.g. a serving worker) and anything that may
+//! want to stop it early (a request deadline, a shutdown path, a test).
+//! [`Simulator::run`](crate::Simulator::run) polls the token between
+//! cycles — cycle granularity, the finest the simulator can stop at
+//! without leaving a half-applied pipeline stage — and returns early once
+//! it fires, with statistics finalized for whatever work did happen.
+//!
+//! Cancellation has two triggers:
+//!
+//! * **explicit**: any holder calls [`CancelToken::cancel`]; the flag is
+//!   an atomic, so this is safe from other threads (including a signal
+//!   handler storing into a static token).
+//! * **deadline**: a token built with [`CancelToken::with_deadline`]
+//!   self-cancels once the wall-clock deadline passes. Reading the host
+//!   clock every simulated cycle would dominate the hot path, so the
+//!   deadline is polled every [`DEADLINE_STRIDE`] cycles — at typical
+//!   simulation speeds that bounds the overshoot well under a
+//!   millisecond, which is noise next to any realistic request deadline.
+//!
+//! A simulator with no token attached pays one `Option` check per cycle
+//! and touches no atomics at all.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How many cycles pass between wall-clock deadline polls. The explicit
+/// cancellation flag is still observed every cycle.
+pub const DEADLINE_STRIDE: u64 = 1024;
+
+/// A cloneable cancellation handle (see the [module docs](self)).
+///
+/// # Examples
+///
+/// ```
+/// use multipath_core::CancelToken;
+///
+/// let token = CancelToken::new();
+/// assert!(!token.is_cancelled());
+/// token.cancel();
+/// assert!(token.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that only cancels explicitly.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A token that self-cancels `timeout` from now (and can still be
+    /// cancelled explicitly before that).
+    pub fn with_deadline(timeout: Duration) -> CancelToken {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Instant::now().checked_add(timeout),
+        }
+    }
+
+    /// Fires the token. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has fired (explicitly, or by an earlier deadline
+    /// poll). Does not itself consult the clock.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// The per-cycle poll used by the simulator's run loop: checks the
+    /// flag every call and the wall-clock deadline every
+    /// [`DEADLINE_STRIDE`] cycles, latching deadline expiry into the flag
+    /// so clones observe it.
+    pub fn should_stop(&self, cycle: u64) -> bool {
+        if self.flag.load(Ordering::Relaxed) {
+            return true;
+        }
+        if let Some(deadline) = self.deadline {
+            if cycle.is_multiple_of(DEADLINE_STRIDE) && Instant::now() >= deadline {
+                self.cancel();
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_cancel_is_shared_across_clones() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.should_stop(1));
+        a.cancel();
+        assert!(b.is_cancelled());
+        assert!(b.should_stop(1));
+    }
+
+    #[test]
+    fn deadline_fires_only_on_stride_cycles() {
+        let t = CancelToken::with_deadline(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(2));
+        // Off-stride cycles do not consult the clock.
+        assert!(!t.should_stop(1));
+        assert!(!t.should_stop(DEADLINE_STRIDE + 1));
+        // A stride cycle latches expiry; afterwards every cycle sees it.
+        assert!(t.should_stop(DEADLINE_STRIDE));
+        assert!(t.should_stop(7));
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn unexpired_deadline_does_not_stop() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!t.should_stop(0));
+        assert!(!t.should_stop(DEADLINE_STRIDE));
+        assert!(!t.is_cancelled());
+    }
+}

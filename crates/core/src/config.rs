@@ -115,6 +115,22 @@ impl Features {
             Features::rec_rs_ru(),
         ]
     }
+
+    /// Parses the CLI/API spelling of a configuration (`smt`, `tme`,
+    /// `rec`, `rec-ru`, `rec-rs`, `rec-rs-ru`) — the shared vocabulary of
+    /// `multipath run --features` and the serving API's `"features"`
+    /// field.
+    pub fn from_name(name: &str) -> Option<Features> {
+        Some(match name {
+            "smt" => Features::smt(),
+            "tme" => Features::tme(),
+            "rec" => Features::rec(),
+            "rec-ru" => Features::rec_ru(),
+            "rec-rs" => Features::rec_rs(),
+            "rec-rs-ru" => Features::rec_rs_ru(),
+            _ => return None,
+        })
+    }
 }
 
 /// How recycled conditional branches are predicted (Section 3.4).
@@ -176,6 +192,20 @@ impl AltPolicy {
             AltPolicy::FetchOnly(n) => format!("fetch-{n}"),
             AltPolicy::NoStop(n) => format!("nostop-{n}"),
         }
+    }
+
+    /// Parses the label form (`stop-8`, `fetch-16`, `nostop-32`) — the
+    /// inverse of [`AltPolicy::label`], shared by the CLI's `--policy`
+    /// flag and the serving API's `"policy"` field.
+    pub fn from_label(s: &str) -> Option<AltPolicy> {
+        let (kind, n) = s.split_once('-')?;
+        let n: u32 = n.parse().ok()?;
+        Some(match kind {
+            "stop" => AltPolicy::Stop(n),
+            "fetch" => AltPolicy::FetchOnly(n),
+            "nostop" => AltPolicy::NoStop(n),
+            _ => return None,
+        })
     }
 
     /// The nine policies of Figure 5.
@@ -325,6 +355,105 @@ impl SimConfig {
         c
     }
 
+    /// Parses a machine preset name (`big.2.16`, `big.1.8`, `small.2.8`,
+    /// `small.1.8`) — the shared vocabulary of `multipath run --machine`
+    /// and the serving API's `"machine"` field.
+    pub fn from_machine_name(name: &str) -> Option<SimConfig> {
+        Some(match name {
+            "big.2.16" => SimConfig::big_2_16(),
+            "big.1.8" => SimConfig::big_1_8(),
+            "small.2.8" => SimConfig::small_2_8(),
+            "small.1.8" => SimConfig::small_1_8(),
+            _ => return None,
+        })
+    }
+
+    /// Renders every field of the configuration — geometry, latencies,
+    /// predictor and hierarchy shapes, features, and policies — in one
+    /// fixed order, independent of how the configuration was constructed
+    /// or what order a request spelled its fields in.
+    ///
+    /// This is the *canonical form* behind [`SimConfig::canonical_hash`]:
+    /// two configurations canonicalize identically iff the simulator
+    /// would behave identically under them, which is what makes the hash
+    /// safe to use as a content address for cached simulation results.
+    pub fn canonical_string(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(512);
+        let _ = write!(
+            s,
+            "contexts={};fetch_threads={};fetch_total={};fetch_per_thread={};\
+             rename_width={};int_queue={};fp_queue={};int_units={};ls_units={};\
+             fp_units={};active_list={};phys_int={};phys_fp={};regread_latency={};\
+             decode_latency={};forks_per_cycle={};mdb_entries={};spawn_latency={};\
+             commit_width={}",
+            self.contexts,
+            self.fetch_threads,
+            self.fetch_total,
+            self.fetch_per_thread,
+            self.rename_width,
+            self.int_queue,
+            self.fp_queue,
+            self.int_units,
+            self.ls_units,
+            self.fp_units,
+            self.active_list,
+            self.phys_int,
+            self.phys_fp,
+            self.regread_latency,
+            self.decode_latency,
+            self.forks_per_cycle,
+            self.mdb_entries,
+            self.spawn_latency,
+            self.commit_width,
+        );
+        let p = &self.predictor;
+        let _ = write!(
+            s,
+            ";predictor=pht:{},btb:{},ways:{},conf:{},max:{},thr:{},ras:{},scheme:{:?}",
+            p.pht_entries,
+            p.btb_entries,
+            p.btb_ways,
+            p.conf_entries,
+            p.conf_max,
+            p.conf_threshold,
+            p.ras_depth,
+            p.scheme,
+        );
+        let h = &self.hierarchy;
+        for (name, c) in [
+            ("l1i", &h.l1i),
+            ("l1d", &h.l1d),
+            ("l2", &h.l2),
+            ("l3", &h.l3),
+        ] {
+            let _ = write!(
+                s,
+                ";{name}={}x{}x{}x{}",
+                c.size_bytes, c.line_bytes, c.ways, c.banks
+            );
+        }
+        let _ = write!(
+            s,
+            ";penalties={},{},{};features={};alt={};recycled_prediction={:?}",
+            h.l2_penalty,
+            h.l3_penalty,
+            h.memory_penalty,
+            self.features.label(),
+            self.alt_policy.label(),
+            self.recycled_prediction,
+        );
+        s
+    }
+
+    /// FNV-1a 64 digest of [`SimConfig::canonical_string`] — the
+    /// configuration's contribution to a content-addressed result-cache
+    /// key. Stable across field-spelling order in requests and across
+    /// processes (no pointer or RandomState input).
+    pub fn canonical_hash(&self) -> u64 {
+        fnv1a(self.canonical_string().as_bytes())
+    }
+
     /// Returns the configuration with different features (builder-style).
     pub fn with_features(mut self, features: Features) -> SimConfig {
         self.features = features;
@@ -387,6 +516,19 @@ impl Default for SimConfig {
     fn default() -> SimConfig {
         SimConfig::big_2_16()
     }
+}
+
+/// FNV-1a 64-bit digest — the workspace's standard process-independent
+/// hash (the golden-trace suite uses the same constants).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
 }
 
 #[cfg(test)]
@@ -470,6 +612,48 @@ mod extra_tests {
     fn default_policy_is_stop_8() {
         assert_eq!(AltPolicy::default(), AltPolicy::Stop(8));
         assert_eq!(SimConfig::default().alt_policy, AltPolicy::Stop(8));
+    }
+
+    #[test]
+    fn name_parsers_round_trip() {
+        for f in Features::all_six() {
+            let spelled = f.label().to_lowercase().replace('/', "-");
+            assert_eq!(Features::from_name(&spelled), Some(f));
+        }
+        assert_eq!(Features::from_name("bogus"), None);
+        for name in ["big.2.16", "big.1.8", "small.2.8", "small.1.8"] {
+            assert!(SimConfig::from_machine_name(name).is_some(), "{name}");
+        }
+        assert!(SimConfig::from_machine_name("huge.9.9").is_none());
+        for p in AltPolicy::figure5_sweep() {
+            assert_eq!(AltPolicy::from_label(&p.label()), Some(p));
+        }
+        assert_eq!(AltPolicy::from_label("stop8"), None);
+        assert_eq!(AltPolicy::from_label("halt-8"), None);
+    }
+
+    #[test]
+    fn canonical_hash_distinguishes_configurations() {
+        let base = SimConfig::big_2_16();
+        assert_eq!(
+            base.canonical_hash(),
+            SimConfig::big_2_16().canonical_hash()
+        );
+        let mut seen = std::collections::HashSet::new();
+        for machine in ["big.2.16", "big.1.8", "small.2.8", "small.1.8"] {
+            for f in Features::all_six() {
+                let c = SimConfig::from_machine_name(machine)
+                    .unwrap()
+                    .with_features(f);
+                assert!(seen.insert(c.canonical_hash()), "{machine}/{}", f.label());
+            }
+        }
+        assert_ne!(
+            base.canonical_hash(),
+            base.clone()
+                .with_alt_policy(AltPolicy::NoStop(8))
+                .canonical_hash()
+        );
     }
 
     #[test]

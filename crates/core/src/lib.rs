@@ -51,6 +51,7 @@
 
 pub mod active_list;
 pub mod arena;
+pub mod cancel;
 pub mod commit_stage;
 pub mod config;
 pub mod context;
@@ -72,6 +73,7 @@ pub mod tme;
 pub mod trace;
 pub mod writeback;
 
+pub use cancel::CancelToken;
 pub use config::{AltPolicy, Features, RecycledPrediction, SimConfig};
 pub use explain::{
     explain_json, explain_markdown, AttributionSink, BranchRow, MergeEdge, PathNode, PathNodeKind,

@@ -1,9 +1,10 @@
 //! Pipeline observability: typed events, pluggable sinks, interval time
 //! series, Perfetto/Chrome-trace export, and host-side stage profiling.
 //!
-//! The simulator's stages emit [`Event`]s through [`Simulator::probe`]
+//! The simulator's stages emit [`Event`]s through `Simulator::probe`
 //! (`crate::sim`), which is a no-op unless probes were attached with
-//! [`Simulator::enable_probes`] — the hot path pays one predictable branch
+//! [`Simulator::enable_probes`](crate::Simulator::enable_probes) — the
+//! hot path pays one predictable branch
 //! per emission site and nothing else. Sinks implement [`ProbeSink`];
 //! [`NullSink`]'s methods are empty `#[inline]` bodies, so generic code
 //! driven with it monomorphizes to nothing. The built-in sinks:

@@ -142,6 +142,9 @@ pub struct Simulator {
     /// Lock-step reference emulator: each commit of the given program is
     /// validated against it (testing aid).
     pub(crate) reference: Option<(ProgId, crate::emulator::Emulator)>,
+    /// Cooperative cancellation handle, polled between cycles by `run`
+    /// (`None` in batch runs: the loop pays one `Option` check per cycle).
+    pub(crate) cancel: Option<crate::cancel::CancelToken>,
     /// Attached observability sinks (`None` in production runs: the hot
     /// path pays one branch per probe site and nothing else).
     pub(crate) probes: Option<Box<crate::probe::Probes>>,
@@ -259,6 +262,7 @@ impl Simulator {
             config,
             commit_log: None,
             reference: None,
+            cancel: None,
             probes: None,
             host_prof: None,
         }
@@ -425,14 +429,36 @@ impl Simulator {
         self.probes.is_some()
     }
 
+    /// Attaches a cooperative [`CancelToken`](crate::CancelToken):
+    /// [`Simulator::run`] polls it between cycles and returns early once
+    /// it fires (explicitly, or by its deadline). Statistics are
+    /// finalized either way; [`Simulator::cancelled`] reports which
+    /// happened.
+    pub fn set_cancel(&mut self, token: crate::cancel::CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// Whether the attached cancel token (if any) has fired.
+    pub fn cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(crate::cancel::CancelToken::is_cancelled)
+    }
+
     /// Runs until `total_committed` instructions have committed across all
-    /// programs, every program has halted, or `max_cycles` elapse.
+    /// programs, every program has halted, `max_cycles` elapse, or the
+    /// attached cancel token (see [`Simulator::set_cancel`]) fires.
     /// Returns the accumulated statistics.
     pub fn run(&mut self, total_committed: u64, max_cycles: u64) -> &Stats {
         while self.stats.committed < total_committed
             && self.cycle < max_cycles
             && !self.programs.iter().all(|p| p.finished)
         {
+            if let Some(token) = &self.cancel {
+                if token.should_stop(self.cycle) {
+                    break;
+                }
+            }
             self.step();
         }
         self.finalize_stats();

@@ -27,6 +27,8 @@
 //! assert_eq!(add.to_string(), "add r3, r1, r2");
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod disasm;
 pub mod encode;
 pub mod inst;

@@ -1,0 +1,350 @@
+//! Request bodies: parsing, validation, and cache-key derivation.
+//!
+//! A run request carries exactly the knobs the `multipath run`/`trace`
+//! CLI exposes, with the same spellings and the same defaults — the
+//! loopback smoke test depends on a JSON body and a CLI invocation
+//! mapping to the *same* simulation. The cache key is the FNV-1a digest
+//! of the canonical configuration string plus everything else that
+//! determines the result bytes (kernels, seed, commit budget, interval
+//! width); the deadline is deliberately excluded, since it changes when
+//! an answer arrives, never what it is.
+
+use multipath_core::{AltPolicy, Features, SimConfig};
+use multipath_testkit::Json;
+use multipath_workload::Benchmark;
+
+/// A validated `POST /v1/run` body (also one sweep cell).
+#[derive(Debug, Clone)]
+pub struct RunRequest {
+    /// The workload kernels, in request order.
+    pub benches: Vec<Benchmark>,
+    /// The feature set (default `rec-rs-ru`, as in the CLI).
+    pub features: Features,
+    /// The fully configured machine (geometry + features + policy).
+    pub config: SimConfig,
+    /// Committed instructions per program (default 30000).
+    pub commits: u64,
+    /// Workload seed (default 1).
+    pub seed: u64,
+    /// Time-series interval width in cycles (default 100).
+    pub interval: u64,
+    /// Optional wall-clock budget for the simulation, in milliseconds.
+    pub deadline_ms: Option<u64>,
+}
+
+impl RunRequest {
+    /// Parses and validates a JSON request body.
+    pub fn parse(body: &str) -> Result<RunRequest, String> {
+        let doc = Json::parse(body).map_err(|e| format!("invalid JSON: {e}"))?;
+        RunRequest::from_json(&doc)
+    }
+
+    /// Builds a request from an already-parsed JSON object (used directly
+    /// for the cells of a sweep body).
+    pub fn from_json(doc: &Json) -> Result<RunRequest, String> {
+        let Json::Obj(map) = doc else {
+            return Err("request body must be a JSON object".to_owned());
+        };
+        const KNOWN: [&str; 8] = [
+            "benches",
+            "features",
+            "machine",
+            "policy",
+            "commits",
+            "seed",
+            "interval",
+            "deadline_ms",
+        ];
+        for key in map.keys() {
+            if !KNOWN.contains(&key.as_str()) {
+                return Err(format!(
+                    "unknown field {key:?} (expected one of {})",
+                    KNOWN.join(", ")
+                ));
+            }
+        }
+
+        let benches = doc
+            .get("benches")
+            .ok_or("missing required field \"benches\"")?
+            .as_arr()
+            .ok_or("\"benches\" must be an array of kernel names")?
+            .iter()
+            .map(|b| {
+                let name = b.as_str().ok_or("\"benches\" entries must be strings")?;
+                Benchmark::from_name(name)
+                    .ok_or_else(|| format!("unknown benchmark {name:?} (see `multipath list`)"))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        if benches.is_empty() {
+            return Err("\"benches\" must name at least one kernel".to_owned());
+        }
+
+        let features = match doc.get("features") {
+            None => Features::rec_rs_ru(),
+            Some(v) => {
+                let s = v.as_str().ok_or("\"features\" must be a string")?;
+                Features::from_name(s).ok_or_else(|| format!("unknown features {s:?}"))?
+            }
+        };
+        let machine = match doc.get("machine") {
+            None => SimConfig::big_2_16(),
+            Some(v) => {
+                let s = v.as_str().ok_or("\"machine\" must be a string")?;
+                SimConfig::from_machine_name(s).ok_or_else(|| format!("unknown machine {s:?}"))?
+            }
+        };
+        let mut config = machine.with_features(features);
+        if let Some(v) = doc.get("policy") {
+            let s = v.as_str().ok_or("\"policy\" must be a string")?;
+            let policy = AltPolicy::from_label(s).ok_or_else(|| format!("unknown policy {s:?}"))?;
+            config = config.with_alt_policy(policy);
+        }
+        if benches.len() > config.contexts {
+            return Err(format!(
+                "{} programs exceed the machine's {} hardware contexts",
+                benches.len(),
+                config.contexts
+            ));
+        }
+
+        let commits = parse_u64(doc, "commits")?.unwrap_or(30_000);
+        if commits == 0 {
+            return Err("\"commits\" must be positive".to_owned());
+        }
+        let seed = parse_u64(doc, "seed")?.unwrap_or(1);
+        let interval = parse_u64(doc, "interval")?.unwrap_or(100).max(1);
+        let deadline_ms = parse_u64(doc, "deadline_ms")?;
+
+        Ok(RunRequest {
+            benches,
+            features,
+            config,
+            commits,
+            seed,
+            interval,
+            deadline_ms,
+        })
+    }
+
+    /// The workload label (`"compress+gcc"`), as the CLI prints it.
+    pub fn label(&self) -> String {
+        self.benches
+            .iter()
+            .map(|b| b.name())
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+
+    /// The content address of this request's result document.
+    pub fn cache_key(&self) -> u64 {
+        fnv1a(self.canonical_string().as_bytes())
+    }
+
+    /// The canonical form hashed by [`RunRequest::cache_key`]: field
+    /// order is fixed here, so JSON bodies spelling the same request with
+    /// reordered keys hash identically.
+    pub fn canonical_string(&self) -> String {
+        format!(
+            "run;config={};benches={};seed={};commits={};interval={}",
+            self.config.canonical_string(),
+            self.label(),
+            self.seed,
+            self.commits,
+            self.interval
+        )
+    }
+}
+
+/// A validated `GET /v1/explain/:kernel` request.
+#[derive(Debug, Clone)]
+pub struct ExplainRequest {
+    /// The single kernel to attribute.
+    pub bench: Benchmark,
+    /// The feature set (default `rec-rs-ru`).
+    pub features: Features,
+    /// The fully configured machine.
+    pub config: SimConfig,
+    /// Committed instructions (default 30000).
+    pub commits: u64,
+    /// Workload seed (default 1).
+    pub seed: u64,
+    /// Rows per attribution table (default 10).
+    pub top: usize,
+}
+
+impl ExplainRequest {
+    /// Builds an explain request from the path's kernel name and the
+    /// query parameters (`features`, `machine`, `policy`, `commits`,
+    /// `seed`, `top`).
+    pub fn from_query(kernel: &str, params: &[(String, String)]) -> Result<ExplainRequest, String> {
+        let bench = Benchmark::from_name(kernel)
+            .ok_or_else(|| format!("unknown benchmark {kernel:?} (see `multipath list`)"))?;
+        let mut features = Features::rec_rs_ru();
+        let mut machine = SimConfig::big_2_16();
+        let mut policy = None;
+        let mut commits: u64 = 30_000;
+        let mut seed: u64 = 1;
+        let mut top: usize = 10;
+        for (key, value) in params {
+            match key.as_str() {
+                "features" => {
+                    features = Features::from_name(value)
+                        .ok_or_else(|| format!("unknown features {value:?}"))?;
+                }
+                "machine" => {
+                    machine = SimConfig::from_machine_name(value)
+                        .ok_or_else(|| format!("unknown machine {value:?}"))?;
+                }
+                "policy" => {
+                    policy = Some(
+                        AltPolicy::from_label(value)
+                            .ok_or_else(|| format!("unknown policy {value:?}"))?,
+                    );
+                }
+                "commits" => {
+                    commits = value
+                        .parse()
+                        .ok()
+                        .filter(|&n: &u64| n > 0)
+                        .ok_or_else(|| format!("bad commits {value:?}"))?;
+                }
+                "seed" => {
+                    seed = value.parse().map_err(|_| format!("bad seed {value:?}"))?;
+                }
+                "top" => {
+                    top = value.parse().map_err(|_| format!("bad top {value:?}"))?;
+                }
+                other => return Err(format!("unknown query parameter {other:?}")),
+            }
+        }
+        let mut config = machine.with_features(features);
+        if let Some(p) = policy {
+            config = config.with_alt_policy(p);
+        }
+        Ok(ExplainRequest {
+            bench,
+            features,
+            config,
+            commits,
+            seed,
+            top,
+        })
+    }
+
+    /// The content address of this request's explain document.
+    pub fn cache_key(&self) -> u64 {
+        let canon = format!(
+            "explain;config={};bench={};seed={};commits={};top={}",
+            self.config.canonical_string(),
+            self.bench.name(),
+            self.seed,
+            self.commits,
+            self.top
+        );
+        fnv1a(canon.as_bytes())
+    }
+}
+
+fn parse_u64(doc: &Json, key: &str) -> Result<Option<u64>, String> {
+    match doc.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("{key:?} must be a non-negative integer")),
+    }
+}
+
+/// FNV-1a 64 — the workspace's standard content-address digest (the same
+/// function fingerprints canonical configurations in `multipath-core`).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_cli() {
+        let req = RunRequest::parse(r#"{"benches": ["compress"]}"#).unwrap();
+        assert_eq!(req.label(), "compress");
+        assert_eq!(req.features.label(), "REC/RS/RU");
+        assert_eq!((req.commits, req.seed, req.interval), (30_000, 1, 100));
+        assert_eq!(req.deadline_ms, None);
+    }
+
+    #[test]
+    fn rejects_unknown_fields_and_bad_values() {
+        assert!(
+            RunRequest::parse(r#"{"benches": ["compress"], "bogus": 1}"#)
+                .unwrap_err()
+                .contains("unknown field")
+        );
+        assert!(RunRequest::parse(r#"{"benches": []}"#).is_err());
+        assert!(RunRequest::parse(r#"{"benches": ["nope"]}"#).is_err());
+        assert!(RunRequest::parse(r#"{"benches": ["gcc"], "commits": 0}"#).is_err());
+        assert!(RunRequest::parse(r#"{"benches": ["gcc"], "features": "max"}"#).is_err());
+        assert!(RunRequest::parse("[1,2]").is_err());
+    }
+
+    #[test]
+    fn cache_key_is_stable_across_json_key_order() {
+        let a = RunRequest::parse(
+            r#"{"benches": ["compress","gcc"], "seed": 3, "commits": 500, "features": "rec"}"#,
+        )
+        .unwrap();
+        let b = RunRequest::parse(
+            r#"{"features": "rec", "commits": 500, "seed": 3, "benches": ["compress","gcc"]}"#,
+        )
+        .unwrap();
+        assert_eq!(a.cache_key(), b.cache_key());
+        // Deadline is excluded: it cannot change the result bytes.
+        let c = RunRequest::parse(
+            r#"{"benches": ["compress","gcc"], "seed": 3, "commits": 500,
+                "features": "rec", "deadline_ms": 5}"#,
+        )
+        .unwrap();
+        assert_eq!(a.cache_key(), c.cache_key());
+        // Every simulation knob is included.
+        for other in [
+            r#"{"benches": ["gcc","compress"], "seed": 3, "commits": 500, "features": "rec"}"#,
+            r#"{"benches": ["compress","gcc"], "seed": 4, "commits": 500, "features": "rec"}"#,
+            r#"{"benches": ["compress","gcc"], "seed": 3, "commits": 501, "features": "rec"}"#,
+            r#"{"benches": ["compress","gcc"], "seed": 3, "commits": 500, "features": "tme"}"#,
+            r#"{"benches": ["compress","gcc"], "seed": 3, "commits": 500, "features": "rec",
+                "interval": 200}"#,
+            r#"{"benches": ["compress","gcc"], "seed": 3, "commits": 500, "features": "rec",
+                "policy": "nostop-8"}"#,
+        ] {
+            let d = RunRequest::parse(other).unwrap();
+            assert_ne!(a.cache_key(), d.cache_key(), "{other}");
+        }
+    }
+
+    #[test]
+    fn explain_request_parses_query_parameters() {
+        let req = ExplainRequest::from_query(
+            "compress",
+            &[
+                ("features".to_owned(), "rec".to_owned()),
+                ("commits".to_owned(), "4000".to_owned()),
+                ("top".to_owned(), "3".to_owned()),
+            ],
+        )
+        .unwrap();
+        assert_eq!(req.bench.name(), "compress");
+        assert_eq!(req.features.label(), "REC");
+        assert_eq!((req.commits, req.top), (4000, 3));
+        assert!(ExplainRequest::from_query("compress", &[("x".into(), "1".into())]).is_err());
+        assert!(ExplainRequest::from_query("nope", &[]).is_err());
+    }
+}

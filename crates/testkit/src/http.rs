@@ -1,0 +1,248 @@
+//! A minimal blocking HTTP/1.1 client for exercising `multipath serve`
+//! in tests and examples.
+//!
+//! One request per connection (the client always sends
+//! `Connection: close`), bodies framed by `Content-Length`, chunked
+//! transfer encoding, or connection close — the three framings the
+//! serving layer emits. Like the rest of this crate it is a *test* tool:
+//! clarity over throughput, std only, and errors are strings.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed HTTP response.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// The numeric status code (200, 404, 429, ...).
+    pub status: u16,
+    /// Header `(name, value)` pairs in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The response body, de-chunked if the server chunked it.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// The first header with the given name (case-insensitive), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy — test assertions want strings).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Sends `GET path` to the server at `addr` and reads the full response.
+pub fn get(addr: SocketAddr, path: &str) -> Result<HttpResponse, String> {
+    request(addr, "GET", path, &[], b"")
+}
+
+/// Sends `POST path` with a JSON body and reads the full response.
+pub fn post_json(addr: SocketAddr, path: &str, body: &str) -> Result<HttpResponse, String> {
+    request(
+        addr,
+        "POST",
+        path,
+        &[("Content-Type", "application/json")],
+        body.as_bytes(),
+    )
+}
+
+/// Sends one request and reads the full response. `extra_headers` are
+/// appended after the generated `Host`, `Content-Length`, and
+/// `Connection: close` headers.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> Result<HttpResponse, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .map_err(|e| format!("set timeout: {e}"))?;
+    let mut stream = stream;
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body))
+        .map_err(|e| format!("send request: {e}"))?;
+    read_response(BufReader::new(stream))
+}
+
+/// Parses a response from any buffered byte stream (exposed so tests can
+/// feed canned bytes without a socket).
+pub fn read_response<R: BufRead>(mut reader: R) -> Result<HttpResponse, String> {
+    let status_line = read_line(&mut reader)?;
+    let mut parts = status_line.splitn(3, ' ');
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("not an HTTP response: {status_line:?}"));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line: {status_line:?}"))?;
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(&mut reader)?;
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| format!("bad header line: {line:?}"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let chunked = headers
+        .iter()
+        .any(|(n, v)| n == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok());
+
+    let body = if chunked {
+        read_chunked(&mut reader)?
+    } else if let Some(n) = content_length {
+        let mut buf = vec![0u8; n];
+        reader
+            .read_exact(&mut buf)
+            .map_err(|e| format!("read body ({n} bytes): {e}"))?;
+        buf
+    } else {
+        // Framed by connection close.
+        let mut buf = Vec::new();
+        reader
+            .read_to_end(&mut buf)
+            .map_err(|e| format!("read body to EOF: {e}"))?;
+        buf
+    };
+    Ok(HttpResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// Reads one CRLF-terminated line, returning it without the terminator.
+fn read_line<R: BufRead>(reader: &mut R) -> Result<String, String> {
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read line: {e}"))?;
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// Decodes a chunked body: `<hex size>\r\n<bytes>\r\n` repeated, ended by
+/// a zero-size chunk (trailers are read and discarded).
+fn read_chunked<R: BufRead>(reader: &mut R) -> Result<Vec<u8>, String> {
+    let mut body = Vec::new();
+    loop {
+        let size_line = read_line(reader)?;
+        let size_hex = size_line.split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_hex, 16)
+            .map_err(|_| format!("bad chunk size line: {size_line:?}"))?;
+        if size == 0 {
+            // Discard optional trailers up to the final blank line.
+            loop {
+                if read_line(reader)?.is_empty() {
+                    return Ok(body);
+                }
+            }
+        }
+        let start = body.len();
+        body.resize(start + size, 0);
+        reader
+            .read_exact(&mut body[start..])
+            .map_err(|e| format!("read chunk of {size}: {e}"))?;
+        let sep = read_line(reader)?;
+        if !sep.is_empty() {
+            return Err(format!("missing CRLF after chunk: {sep:?}"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    #[test]
+    fn parses_content_length_response() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\nContent-Length: 5\r\n\r\nhello";
+        let r = read_response(&raw[..]).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.header("content-type"), Some("text/plain"));
+        assert_eq!(r.header("Content-Type"), Some("text/plain"));
+        assert_eq!(r.text(), "hello");
+    }
+
+    #[test]
+    fn parses_chunked_response() {
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n\
+                    5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n";
+        let r = read_response(&raw[..]).unwrap();
+        assert_eq!(r.text(), "hello world");
+    }
+
+    #[test]
+    fn parses_close_framed_response() {
+        let raw = b"HTTP/1.1 429 Too Many Requests\r\n\r\n{\"error\":\"overloaded\"}";
+        let r = read_response(&raw[..]).unwrap();
+        assert_eq!(r.status, 429);
+        assert_eq!(r.text(), "{\"error\":\"overloaded\"}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_response(&b"not http at all\r\n\r\n"[..]).is_err());
+    }
+
+    #[test]
+    fn round_trips_against_a_real_socket() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 4096];
+            // Read at least the request head before answering.
+            let mut seen = Vec::new();
+            while !seen.windows(4).any(|w| w == b"\r\n\r\n") {
+                let n = conn.read(&mut buf).unwrap();
+                assert!(n > 0, "client closed early");
+                seen.extend_from_slice(&buf[..n]);
+            }
+            let text = String::from_utf8_lossy(&seen);
+            assert!(text.starts_with("POST /echo HTTP/1.1\r\n"), "{text}");
+            conn.write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok")
+                .unwrap();
+        });
+        let r = post_json(addr, "/echo", "{}").unwrap();
+        assert_eq!((r.status, r.text().as_str()), (200, "ok"));
+        server.join().unwrap();
+    }
+}

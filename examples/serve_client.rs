@@ -1,0 +1,98 @@
+//! Start a `multipath serve` instance on an ephemeral port, drive it over
+//! HTTP, and measure what the content-addressed result cache buys.
+//!
+//! The example submits the same six-cell sweep twice. The first pass
+//! simulates every cell cold; the second is answered entirely from the
+//! cache, so the latency ratio printed at the end is the cache's
+//! speedup on this machine. A final `/metrics` fetch shows the hit/miss
+//! counters reconciling with the requests just made.
+//!
+//! ```text
+//! cargo run --release --example serve_client -p multipath-serve
+//! ```
+
+use multipath_serve::{ServeConfig, Server};
+use multipath_testkit::{http, Json};
+use std::time::Instant;
+
+fn main() {
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_owned(), // ephemeral port: no collisions
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(&config).expect("bind loopback");
+    let handle = server.start();
+    let addr = handle.addr();
+    println!("serving on http://{addr}");
+
+    // One stats document through POST /v1/run.
+    let run_body = r#"{"benches": ["compress"], "features": "rec-rs-ru", "commits": 2000}"#;
+    let reply = http::post_json(addr, "/v1/run", run_body).expect("POST /v1/run");
+    let doc = Json::parse(&reply.text()).expect("stats document parses");
+    println!(
+        "run: {} -> {} ({} bytes, cache {})",
+        doc.get("label").and_then(Json::as_str).unwrap_or("?"),
+        doc.get("schema").and_then(Json::as_str).unwrap_or("?"),
+        reply.body.len(),
+        reply.header("x-multipath-cache").unwrap_or("?"),
+    );
+
+    // The same sweep twice: cold, then fully cached.
+    let sweep_body = r#"{
+        "cells": [
+            {"benches": ["compress"], "features": "smt",       "commits": 2000},
+            {"benches": ["compress"], "features": "tme",       "commits": 2000},
+            {"benches": ["compress"], "features": "rec",       "commits": 2000},
+            {"benches": ["go"],       "features": "rec",       "commits": 2000},
+            {"benches": ["go"],       "features": "rec-rs",    "commits": 2000},
+            {"benches": ["go"],       "features": "rec-rs-ru", "commits": 2000}
+        ]
+    }"#;
+    let mut latencies = Vec::new();
+    for pass in ["cold", "cached"] {
+        let started = Instant::now();
+        let reply = http::post_json(addr, "/v1/sweep", sweep_body).expect("POST /v1/sweep");
+        let elapsed = started.elapsed();
+        latencies.push(elapsed.as_secs_f64());
+        assert_eq!(reply.status, 200, "{}", reply.text());
+        println!(
+            "\nsweep ({pass} pass, {:.1} ms):",
+            elapsed.as_secs_f64() * 1e3
+        );
+        for line in reply.text().lines() {
+            let cell = Json::parse(line).expect("NDJSON cell parses");
+            println!(
+                "  {:9} {:9} ipc {:.2}  recycled {:5.1}%  cached={}",
+                cell.get("label").and_then(Json::as_str).unwrap_or("?"),
+                cell.get("features").and_then(Json::as_str).unwrap_or("?"),
+                cell.get("ipc").and_then(Json::as_f64).unwrap_or(0.0),
+                cell.get("pct_recycled")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0),
+                cell.get("cached")
+                    .map(|c| c == &Json::Bool(true))
+                    .unwrap_or(false),
+            );
+        }
+    }
+    println!(
+        "\ncold {:.1} ms, cached {:.1} ms -> cache speedup {:.0}x",
+        latencies[0] * 1e3,
+        latencies[1] * 1e3,
+        latencies[0] / latencies[1].max(1e-9),
+    );
+
+    let metrics = http::get(addr, "/metrics").expect("GET /metrics");
+    let m = Json::parse(&metrics.text()).expect("metrics parse");
+    let cache = m.get("cache").expect("cache section");
+    println!(
+        "cache: {} hits, {} misses, {} coalesced over {} stored bytes",
+        cache.get("hits").and_then(Json::as_u64).unwrap_or(0),
+        cache.get("misses").and_then(Json::as_u64).unwrap_or(0),
+        cache.get("coalesced").and_then(Json::as_u64).unwrap_or(0),
+        cache.get("bytes").and_then(Json::as_u64).unwrap_or(0),
+    );
+
+    handle.shutdown();
+    println!("drained and shut down cleanly");
+}
